@@ -1,0 +1,165 @@
+"""Ablations for the design choices DESIGN.md calls out.
+
+* Criticality weighting in the PnR cost — covered per-workload by Fig. 12;
+  here we additionally ablate the *column-aware* preference within a
+  domain (``D0.c0 <= D0.c1 <= ...``) by collapsing the column step.
+* Token-buffer depth and memory-level parallelism (PE pipelining).
+* Memory-ordering mode: sound RAW/WAR fences (default) vs full
+  serialization of every access to a written array.
+"""
+
+
+from conftest import BENCH_SCALE, save_result
+from repro.arch.fabric import monaco
+from repro.arch.params import ArchParams, SimParams
+from repro.core import policy as policy_mod
+from repro.core.policy import EFFCC
+from repro.pnr.flow import compile_kernel
+from repro.sim.engine import simulate
+from repro.workloads import make_workload
+
+
+def _run(compiled, inst, arch):
+    result = simulate(compiled, inst.params, inst.arrays, arch, divider=2)
+    inst.check(result.memory)
+    return result.stats.system_cycles
+
+
+def test_ablation_buffering(benchmark):
+    """FIFO depth / outstanding-load sensitivity on spmspv."""
+    inst = make_workload("spmspv", scale=BENCH_SCALE)
+    fabric = monaco(12, 12)
+
+    def sweep():
+        rows = []
+        base = ArchParams()
+        compiled = compile_kernel(inst.kernel, fabric, base, EFFCC, seed=0)
+        for fifo, outstanding in ((2, 1), (2, 2), (4, 2), (4, 4)):
+            arch = ArchParams(
+                sim=SimParams(
+                    fifo_capacity=fifo, max_outstanding=outstanding
+                )
+            )
+            rows.append(
+                (fifo, outstanding, _run(compiled, inst, arch))
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = "ablation: token-buffer depth / outstanding loads (spmspv)\n"
+    text += "\n".join(
+        f"  fifo={f} outstanding={o}: {c} cycles" for f, o, c in rows
+    )
+    save_result("ablation_buffering", text)
+    cycles = [c for _, _, c in rows]
+    assert cycles[-1] <= cycles[0], "deeper buffering should not hurt"
+
+
+def test_ablation_memory_ordering(benchmark):
+    """Sound RAW/WAR fences vs full serialization on fft (ordering-heavy).
+
+    Two effects pull in opposite directions: at equal parallelism the raw
+    fences win (loads overlap), but the fence plumbing costs DFG nodes, so
+    full serialization sometimes fits one more parallel worker. The bench
+    reports both the iso-parallelism comparison (the mechanism) and the
+    end-to-end searched result (the area tradeoff).
+    """
+    inst = make_workload("fft", scale=BENCH_SCALE)
+    fabric = monaco(12, 12)
+    arch = ArchParams()
+
+    def sweep():
+        out = {}
+        for mode in ("raw", "serialize"):
+            fixed = compile_kernel(
+                inst.kernel, fabric, arch, EFFCC, parallelism=1,
+                mem_mode=mode, seed=0,
+            )
+            searched = compile_kernel(
+                inst.kernel, fabric, arch, EFFCC, mem_mode=mode, seed=0
+            )
+            out[mode] = {
+                "iso-parallelism": _run(fixed, inst, arch),
+                "searched": _run(searched, inst, arch),
+                "nodes": len(fixed.dfg),
+                "best-parallelism": searched.parallelism,
+            }
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["ablation: memory-ordering mode (fft)"]
+    for mode, row in results.items():
+        lines.append(
+            f"  {mode:9s}: iso-par {row['iso-parallelism']} cyc "
+            f"({row['nodes']} nodes), searched {row['searched']} cyc "
+            f"(par {row['best-parallelism']})"
+        )
+    save_result("ablation_memorder", "\n".join(lines))
+    assert (
+        results["raw"]["iso-parallelism"]
+        <= results["serialize"]["iso-parallelism"]
+    ), "at equal parallelism, parallel loads beat full serialization"
+
+
+def test_ablation_noc_model(benchmark):
+    """Uniform mesh vs cardinal/diagonal/skip track model (Sec. 4.1)."""
+    inst = make_workload("spmspv", scale=BENCH_SCALE)
+    fabric = monaco(12, 12)
+
+    def sweep():
+        out = {}
+        for model in ("simple", "monaco-tracks"):
+            arch = ArchParams(noc_model=model)
+            compiled = compile_kernel(
+                inst.kernel, fabric, arch, EFFCC, seed=0
+            )
+            divider = max(2, compiled.timing.clock_divider)
+            result = simulate(
+                compiled, inst.params, inst.arrays, arch, divider=divider
+            )
+            inst.check(result.memory)
+            out[model] = {
+                "cycles": result.stats.system_cycles,
+                "max_path": compiled.timing.max_hops,
+                "divider": divider,
+            }
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["ablation: data NoC channel model (spmspv)"]
+    for model, row in results.items():
+        lines.append(
+            f"  {model:14s}: {row['cycles']} cyc, max path "
+            f"{row['max_path']}, divider {row['divider']}"
+        )
+    save_result("ablation_noc_model", "\n".join(lines))
+    assert all(r["cycles"] > 0 for r in results.values())
+
+
+def test_ablation_column_preference(benchmark):
+    """Column-aware preference within a domain vs domain-only ranking."""
+    inst = make_workload("spmspm", scale=BENCH_SCALE)
+    fabric = monaco(12, 12)
+    arch = ArchParams()
+
+    def sweep():
+        out = {}
+        original = policy_mod.COLUMN_STEP
+        try:
+            for label, step in (("column-aware", original), ("flat", 0.0)):
+                policy_mod.COLUMN_STEP = step
+                compiled = compile_kernel(
+                    inst.kernel, fabric, arch, EFFCC, seed=0
+                )
+                out[label] = _run(compiled, inst, arch)
+        finally:
+            policy_mod.COLUMN_STEP = original
+        return out
+
+    cycles = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = (
+        "ablation: intra-domain column preference (spmspm)\n"
+        + "\n".join(f"  {m}: {c} cycles" for m, c in cycles.items())
+    )
+    save_result("ablation_column_pref", text)
+    assert all(c > 0 for c in cycles.values())

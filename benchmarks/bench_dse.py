@@ -1,0 +1,28 @@
+"""Design-space exploration of LS-PE placement (paper contribution 4).
+
+The paper explores where to put load-store PEs within the fabric and ships
+Monaco with three-column NUPEA domains on alternating LS rows. This bench
+sweeps domain width (direct D0 ports per row) and LS-row density and
+reports execution time per variant.
+"""
+
+from conftest import BENCH_SCALE, save_result
+from repro.exp.dse import ls_placement_dse
+from repro.exp.report import format_figure
+
+
+def test_dse_ls_placement(benchmark):
+    result = benchmark.pedantic(
+        lambda: ls_placement_dse(
+            workloads=("spmspv", "dmv"), scale=BENCH_SCALE
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("dse_ls_placement", format_figure(result, precision=0))
+    for name, row in result.rows.items():
+        finite = [v for v in row.values() if v != float("inf")]
+        assert finite, name
+        # Monaco's shipping point (w3/s2) should be competitive: within
+        # 25% of the best point found for each workload.
+        assert row["w3/s2"] <= min(finite) * 1.25

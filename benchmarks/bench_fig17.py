@@ -1,0 +1,19 @@
+"""Fig. 17: maximum routed path delay from PnR, same sweep as Fig. 16.
+
+Paper claim: the maximum path delay (which sets the fabric clock divider)
+grows with fabric size, and scarce tracks amplify it on large fabrics.
+"""
+
+from conftest import BENCH_SCALE, save_result
+from repro.exp.figures import fig17
+from repro.exp.report import format_figure
+
+
+def test_fig17(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig17(scale=BENCH_SCALE), rounds=1, iterations=1
+    )
+    save_result("fig17", format_figure(result, precision=1))
+    for topology, row in result.rows.items():
+        assert row["8x8/7trk"] <= row["24x24/7trk"], topology
+        assert all(v > 0 for v in row.values())

@@ -1,0 +1,20 @@
+"""Table 1: the application inventory, paper inputs vs reproduced inputs.
+
+Also validates every instantiated workload against its reference output
+through the IR interpreter (the cheapest full-semantics pass).
+"""
+
+from conftest import BENCH_SCALE, save_result
+from repro.exp.tables import format_table1, table1
+from repro.ir.interp import run_kernel
+from repro.workloads import all_workloads
+
+
+def test_table1(benchmark):
+    rows = benchmark.pedantic(
+        lambda: table1(scale=BENCH_SCALE), rounds=1, iterations=1
+    )
+    save_result("table1", format_table1(rows))
+    assert len(rows) == 13
+    for inst in all_workloads(scale="tiny"):
+        inst.check(run_kernel(inst.kernel, inst.params, inst.arrays))

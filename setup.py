@@ -1,0 +1,8 @@
+"""Thin shim so legacy installs work in offline environments without wheel.
+
+All metadata lives in pyproject.toml; this file only enables
+``python setup.py develop`` where PEP 660 editable installs are unavailable.
+"""
+from setuptools import setup
+
+setup()

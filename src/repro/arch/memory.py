@@ -1,0 +1,52 @@
+"""Address mapping: kernel arrays -> the banked flat address space.
+
+Arrays are laid out contiguously at launch, each aligned to a cache-line
+boundary. Banks interleave at line granularity — consecutive lines map to
+consecutive banks — which is also the granularity the NUMA-UPEA baseline
+interleaves its domains at (Sec. 6, "interleave the address space across
+the NUMA domains").
+"""
+
+from __future__ import annotations
+
+from repro.arch.params import MemoryParams
+from repro.errors import ArchError
+
+
+class AddressMap:
+    """Word-granular base addresses for a set of arrays."""
+
+    def __init__(self, arrays: dict[str, int], memory: MemoryParams):
+        self.memory = memory
+        self.bases: dict[str, int] = {}
+        self.sizes: dict[str, int] = dict(arrays)
+        cursor = 0
+        line = memory.line_words
+        for name in arrays:
+            self.bases[name] = cursor
+            size = arrays[name]
+            cursor += ((size + line - 1) // line) * line
+        if cursor > memory.total_words:
+            raise ArchError(
+                f"arrays need {cursor} words; memory holds "
+                f"{memory.total_words}"
+            )
+        self.used_words = cursor
+
+    def address(self, array: str, index: int) -> int:
+        try:
+            base = self.bases[array]
+        except KeyError:
+            raise ArchError(f"unmapped array {array!r}") from None
+        if not 0 <= index < self.sizes[array]:
+            raise ArchError(
+                f"index {index} out of bounds for array {array!r} of size "
+                f"{self.sizes[array]}"
+            )
+        return base + index
+
+    def line(self, address: int) -> int:
+        return address // self.memory.line_words
+
+    def bank(self, address: int) -> int:
+        return self.line(address) % self.memory.n_banks

@@ -1,0 +1,142 @@
+"""Data NoC models: channel graphs the router operates over.
+
+Monaco's data NoC gives each tile three 32-bit tracks through
+Wilton-topology routers: one *cardinal* track, one *diagonal* track, and
+one *skip* track — diagonal and skip tracks only go through a router every
+other hop (Sec. 4.1).
+
+Two models are provided:
+
+* :class:`ChannelGraph` ("simple") — a uniform mesh of unit channels with
+  a per-channel track capacity. This is the default model and the one the
+  Fig. 16/17 track sweep (2 vs 7 tracks) parameterizes.
+* :class:`MonacoTrackGraph` ("monaco-tracks") — heterogeneous segments:
+  unit cardinal channels plus two-cell diagonal and skip segments that
+  bypass the intermediate router. Segments carry per-type capacities and
+  wire lengths (a two-cell segment costs two delay units but only one
+  switch traversal), so diagonal/skip tracks shorten routed *delay* for
+  long nets exactly as they do in the silicon.
+
+Both expose the same interface to the router: ``edges_from(coord)`` yields
+``(dst, channel_key, wire_units)`` and ``capacity(channel_key)`` bounds
+concurrent nets per segment.
+"""
+
+from __future__ import annotations
+
+from repro.arch.fabric import Fabric
+from repro.errors import ArchError
+
+Coord = tuple[int, int]
+#: (src, dst, kind) — kind distinguishes track types sharing endpoints.
+ChannelKey = tuple[Coord, Coord, str]
+
+_CARDINAL_STEPS = ((1, 0), (-1, 0), (0, 1), (0, -1))
+_DIAGONAL_STEPS = ((2, 2), (2, -2), (-2, 2), (-2, -2))
+_SKIP_STEPS = ((2, 0), (-2, 0), (0, 2), (0, -2))
+
+
+class ChannelGraph:
+    """Uniform mesh: unit channels, one capacity for all of them."""
+
+    name = "simple"
+
+    def __init__(self, fabric: Fabric, tracks: int):
+        if tracks < 1:
+            raise ArchError("need at least one track")
+        self.fabric = fabric
+        self.tracks = tracks
+        self._edges: dict[Coord, list[tuple[Coord, ChannelKey, float]]] = {}
+        for y in range(fabric.rows):
+            for x in range(fabric.cols):
+                here = (x, y)
+                edges = []
+                for dx, dy in _CARDINAL_STEPS:
+                    nx_, ny_ = x + dx, y + dy
+                    if 0 <= nx_ < fabric.cols and 0 <= ny_ < fabric.rows:
+                        dst = (nx_, ny_)
+                        edges.append((dst, (here, dst, "cardinal"), 1.0))
+                self._edges[here] = edges
+
+    def edges_from(self, coord: Coord):
+        return self._edges[coord]
+
+    def neighbors(self, coord: Coord) -> list[Coord]:
+        return [dst for dst, _, _ in self._edges[coord]]
+
+    def channels(self) -> list[ChannelKey]:
+        return [
+            key for edges in self._edges.values() for _, key, _ in edges
+        ]
+
+    def capacity(self, key: ChannelKey) -> int:
+        src, dst, _ = key
+        if dst not in self.neighbors(src):
+            raise ArchError(f"no channel {src} -> {dst}")
+        return self.tracks
+
+
+class MonacoTrackGraph:
+    """Heterogeneous tracks: cardinal + diagonal + skip segments."""
+
+    name = "monaco-tracks"
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        cardinal: int = 1,
+        diagonal: int = 1,
+        skip: int = 1,
+    ):
+        if min(cardinal, diagonal, skip) < 0 or cardinal < 1:
+            raise ArchError("need at least one cardinal track")
+        self.fabric = fabric
+        self.capacities = {
+            "cardinal": cardinal,
+            "diagonal": diagonal,
+            "skip": skip,
+        }
+        self._edges: dict[Coord, list[tuple[Coord, ChannelKey, float]]] = {}
+        for y in range(fabric.rows):
+            for x in range(fabric.cols):
+                here = (x, y)
+                edges = []
+                for kind, steps, wire, cap in (
+                    ("cardinal", _CARDINAL_STEPS, 1.0, cardinal),
+                    ("diagonal", _DIAGONAL_STEPS, 2.0, diagonal),
+                    ("skip", _SKIP_STEPS, 2.0, skip),
+                ):
+                    if cap == 0:
+                        continue
+                    for dx, dy in steps:
+                        nx_, ny_ = x + dx, y + dy
+                        if 0 <= nx_ < fabric.cols and 0 <= ny_ < fabric.rows:
+                            dst = (nx_, ny_)
+                            edges.append((dst, (here, dst, kind), wire))
+                self._edges[here] = edges
+
+    def edges_from(self, coord: Coord):
+        return self._edges[coord]
+
+    def neighbors(self, coord: Coord) -> list[Coord]:
+        return [dst for dst, _, _ in self._edges[coord]]
+
+    def channels(self) -> list[ChannelKey]:
+        return [
+            key for edges in self._edges.values() for _, key, _ in edges
+        ]
+
+    def capacity(self, key: ChannelKey) -> int:
+        return self.capacities[key[2]]
+
+
+def build_channel_graph(fabric: Fabric, tracks: int, model: str):
+    """Construct the channel graph for an ``ArchParams.noc_model``."""
+    if model == "simple":
+        return ChannelGraph(fabric, tracks)
+    if model == "monaco-tracks":
+        per_type = max(1, round(tracks / 3))
+        return MonacoTrackGraph(
+            fabric, cardinal=per_type, diagonal=per_type, skip=per_type
+        )
+    raise ArchError(f"unknown NoC model {model!r}")

@@ -1,0 +1,108 @@
+"""Architecture and simulation parameters (paper Sec. 6 defaults).
+
+Monaco's evaluated configuration: 8MB total memory including a 256KB
+memory-side data cache, both banked 32x; main-memory latency 4 system
+cycles, cache hits 2; one system cycle per arbitration hop in the
+fabric-memory NoC; D0 accesses see no fabric-memory NoC delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ArchError
+
+#: Bytes per data word (Monaco's data NoC tracks are 32-bit).
+WORD_BYTES = 4
+
+
+@dataclass(frozen=True)
+class MemoryParams:
+    """Memory-system configuration."""
+
+    n_banks: int = 32
+    line_words: int = 16  # 64B cache lines
+    #: Cache capacity in lines: 256KB / 64B = 4096.
+    cache_lines: int = 4096
+    #: Total memory in words: 8MB / 4B.
+    total_words: int = 2 * 1024 * 1024
+    #: System cycles for a cache hit.
+    hit_cycles: int = 2
+    #: Additional system cycles to reach main memory on a miss.
+    memory_cycles: int = 4
+    #: Requests a bank accepts per system cycle.
+    bank_throughput: int = 1
+
+    def __post_init__(self):
+        if self.n_banks <= 0 or self.line_words <= 0:
+            raise ArchError("banks and line size must be positive")
+        if self.cache_lines < 0 or self.total_words <= 0:
+            raise ArchError("bad cache or memory capacity")
+
+    def miss_latency(self) -> int:
+        return self.hit_cycles + self.memory_cycles
+
+
+@dataclass(frozen=True)
+class SimParams:
+    """Timed-simulation knobs."""
+
+    #: Token-FIFO capacity per input port. Monaco buffers tokens at PE
+    #: inputs for pipelining (Sec. 4.1); its PEs are small, so the
+    #: per-operand buffers are shallow.
+    fifo_capacity: int = 2
+    #: Outstanding memory requests a single LS PE may have in flight.
+    max_outstanding: int = 2
+    #: Fabric-clock divider (fabric period = divider system cycles). The
+    #: paper's evaluation runs Monaco at divider 2; PnR may raise it when
+    #: static timing requires.
+    clock_divider: int = 2
+    #: Give up if no progress for this many system cycles.
+    deadlock_cycles: int = 50_000
+    #: Absolute cycle budget (safety net).
+    max_cycles: int = 200_000_000
+
+    def __post_init__(self):
+        if self.fifo_capacity < 2:
+            raise ArchError("fifo capacity must be >= 2 (carry loops)")
+        if self.max_outstanding < 1:
+            raise ArchError("max outstanding must be >= 1")
+        if self.clock_divider < 1:
+            raise ArchError("clock divider must be >= 1")
+
+
+@dataclass(frozen=True)
+class TimingParams:
+    """Static-timing constants for the clock-divider computation.
+
+    Unit delays stand in for the paper's sign-off timing numbers: what
+    matters for the reproduction is that longer routed paths force a larger
+    divider (slower fabric clock), reproducing the Fig. 16/17 trends.
+    """
+
+    #: Delay units consumed by PE logic per fabric cycle.
+    pe_logic_units: float = 2.0
+    #: Delay units per routed hop on the data NoC.
+    hop_units: float = 1.0
+    #: Delay units available in one system-clock period.
+    system_period_units: float = 4.0
+
+
+@dataclass(frozen=True)
+class ArchParams:
+    """Complete architecture parameterization."""
+
+    memory: MemoryParams = field(default_factory=MemoryParams)
+    sim: SimParams = field(default_factory=SimParams)
+    timing: TimingParams = field(default_factory=TimingParams)
+    #: Data NoC tracks per channel (Fig. 16/17 sweep 2 vs 7; Monaco has 3).
+    noc_tracks: int = 3
+    #: Channel-graph model: "simple" (uniform mesh) or "monaco-tracks"
+    #: (cardinal + diagonal + skip segments, Sec. 4.1).
+    noc_model: str = "simple"
+
+    def __post_init__(self):
+        if self.noc_tracks < 1:
+            raise ArchError("need at least one NoC track")
+        if self.noc_model not in ("simple", "monaco-tracks"):
+            raise ArchError(f"unknown NoC model {self.noc_model!r}")

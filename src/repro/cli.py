@@ -1,0 +1,246 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``workloads`` — list the Table 1 applications;
+* ``fabric`` — draw a fabric topology with its NUPEA domains;
+* ``run`` — compile and simulate one workload on one configuration;
+* ``figure`` — regenerate one of the paper's evaluation figures;
+* ``table1`` — regenerate the workload-inventory table;
+* ``dse`` — run the LS-PE placement design-space exploration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.arch.fabric import TOPOLOGIES, build_fabric
+from repro.arch.params import ArchParams
+from repro.core.criticality import format_report
+from repro.core.policy import POLICIES, get_policy
+from repro.exp import figures as figures_mod
+from repro.exp.configs import MONACO, ideal, numa, upea
+from repro.exp.report import format_figure
+from repro.exp.runner import PAPER_DIVIDER, compile_cached, run_config
+from repro.exp.tables import format_table1, table1
+from repro.pnr.viz import fabric_map, placement_map
+from repro.sim.energy import estimate_energy
+from repro.workloads.registry import ALL_WORKLOADS, make_workload
+
+FIGURES = {
+    "fig6c": figures_mod.fig6c,
+    "fig11": figures_mod.fig11,
+    "fig12": figures_mod.fig12,
+    "fig14": figures_mod.fig14,
+    "fig15": figures_mod.fig15,
+    "fig16": figures_mod.fig16,
+    "fig17": figures_mod.fig17,
+}
+
+
+def _config_for(name: str):
+    if name == "monaco":
+        return MONACO
+    if name == "ideal":
+        return ideal()
+    if name.startswith("upea"):
+        return upea(int(name[4:] or 2))
+    if name.startswith("numa"):
+        return numa(int(name.rsplit("a", 1)[-1] or 2))
+    raise SystemExit(
+        f"unknown config {name!r}; use monaco | ideal | upeaN | numaN"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NUPEA reproduction (ISCA 2025) command-line interface",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list the Table 1 applications")
+
+    p_fabric = sub.add_parser("fabric", help="draw a fabric topology")
+    p_fabric.add_argument(
+        "topology", choices=sorted(TOPOLOGIES), nargs="?", default="monaco"
+    )
+    p_fabric.add_argument("--rows", type=int, default=12)
+    p_fabric.add_argument("--cols", type=int, default=12)
+
+    p_run = sub.add_parser(
+        "run", help="compile + simulate one workload"
+    )
+    p_run.add_argument("workload", choices=sorted(ALL_WORKLOADS))
+    p_run.add_argument("--scale", default="small")
+    p_run.add_argument(
+        "--config", default="monaco",
+        help="monaco | ideal | upeaN | numaN (default: monaco)",
+    )
+    p_run.add_argument(
+        "--policy", choices=sorted(POLICIES), default="effcc"
+    )
+    p_run.add_argument("--rows", type=int, default=12)
+    p_run.add_argument("--cols", type=int, default=12)
+    p_run.add_argument("--topology", default="monaco")
+    p_run.add_argument("--tracks", type=int, default=3)
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument(
+        "--map", action="store_true", help="print the placement map"
+    )
+    p_run.add_argument(
+        "--criticality", action="store_true",
+        help="print the critical-load report",
+    )
+    p_run.add_argument(
+        "--energy", action="store_true", help="print the energy estimate"
+    )
+
+    p_fig = sub.add_parser(
+        "figure", help="regenerate one evaluation figure"
+    )
+    p_fig.add_argument("name", choices=sorted(FIGURES))
+    p_fig.add_argument("--scale", default="small")
+    p_fig.add_argument(
+        "--workloads", nargs="*", default=None,
+        help="subset of workloads (fig11/12/14/15 only)",
+    )
+
+    p_table = sub.add_parser("table1", help="regenerate Table 1")
+    p_table.add_argument("--scale", default="small")
+
+    p_dse = sub.add_parser(
+        "dse", help="LS-PE placement design-space exploration"
+    )
+    p_dse.add_argument(
+        "--workloads", nargs="*", default=["spmspv", "dmv"]
+    )
+    p_dse.add_argument("--scale", default="small")
+
+    p_regions = sub.add_parser(
+        "regions",
+        help="split an oversized workload into bitstream regions and run",
+    )
+    p_regions.add_argument("workload", choices=sorted(ALL_WORKLOADS))
+    p_regions.add_argument("--scale", default="tiny")
+    p_regions.add_argument("--rows", type=int, default=10)
+    p_regions.add_argument("--cols", type=int, default=10)
+    p_regions.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def cmd_workloads(_args) -> int:
+    for row in table1(scale="tiny"):
+        print(
+            f"{row['application']:12s} {row['category']:24s} "
+            f"paper: {row['paper_input']}"
+        )
+    return 0
+
+
+def cmd_fabric(args) -> int:
+    print(fabric_map(build_fabric(args.topology, args.rows, args.cols)))
+    return 0
+
+
+def cmd_run(args) -> int:
+    instance = make_workload(args.workload, scale=args.scale, seed=args.seed)
+    arch = ArchParams(noc_tracks=args.tracks)
+    fabric = build_fabric(args.topology, args.rows, args.cols)
+    policy = get_policy(args.policy)
+    compiled = compile_cached(
+        instance, fabric, arch, policy=policy, seed=args.seed
+    )
+    print(compiled.summary())
+    if args.criticality:
+        print(format_report(compiled.dfg, compiled.criticality))
+    if args.map:
+        print(placement_map(compiled))
+    config = _config_for(args.config)
+    divider = max(PAPER_DIVIDER, compiled.timing.clock_divider)
+    run = run_config(instance, compiled, config, arch, divider=divider)
+    print(
+        f"{args.workload} on {config.name}: {run.cycles} system cycles "
+        f"(output verified)"
+    )
+    print("stats:", run.stats.summary())
+    if args.energy:
+        print("energy:", estimate_energy(run.stats).summary())
+    return 0
+
+
+def cmd_figure(args) -> int:
+    fig = FIGURES[args.name]
+    kwargs = {"scale": args.scale}
+    if args.workloads and args.name in ("fig11", "fig12", "fig14", "fig15"):
+        kwargs["workloads"] = args.workloads
+    print(format_figure(fig(**kwargs)))
+    return 0
+
+
+def cmd_table1(args) -> int:
+    print(format_table1(table1(scale=args.scale)))
+    return 0
+
+
+def cmd_dse(args) -> int:
+    from repro.exp.dse import ls_placement_dse
+
+    result = ls_placement_dse(
+        workloads=tuple(args.workloads), scale=args.scale
+    )
+    print(format_figure(result, precision=0))
+    return 0
+
+
+def cmd_regions(args) -> int:
+    from repro.arch.fabric import monaco as monaco_fabric
+    from repro.pnr.regions import compile_region_program
+    from repro.sim.regions import simulate_regions
+
+    instance = make_workload(args.workload, scale=args.scale, seed=args.seed)
+    arch = ArchParams()
+    fabric = monaco_fabric(args.rows, args.cols)
+    compiled = compile_region_program(
+        instance.kernel, fabric, arch, seed=args.seed
+    )
+    print(
+        f"{args.workload} split into {len(compiled)} region(s) on "
+        f"{fabric.name}:"
+    )
+    for region, ck in zip(compiled.program.regions, compiled.compiled):
+        print(
+            f"  {ck.dfg.name:16s} {len(ck.dfg):4d} nodes, "
+            f"par={ck.parallelism}, live-in={region.live_in}, "
+            f"spills={sorted(region.spills)}"
+        )
+    result = simulate_regions(compiled, instance.params, instance.arrays, arch)
+    instance.check(result.memory)
+    print(
+        f"total {result.total_cycles} system cycles "
+        f"({result.regions} launches, per-region {result.region_cycles}); "
+        "output verified"
+    )
+    return 0
+
+
+COMMANDS = {
+    "workloads": cmd_workloads,
+    "fabric": cmd_fabric,
+    "run": cmd_run,
+    "figure": cmd_figure,
+    "table1": cmd_table1,
+    "dse": cmd_dse,
+    "regions": cmd_regions,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,124 @@
+"""Critical-load analysis (paper Sec. 5, "Identifying critical loads").
+
+effcc's heuristics categorize memory instructions as:
+
+* class **A** — *critical* loads that contribute to long initiation
+  intervals: loads on a loop-governing recurrence. In the DFG these are
+  exactly the loads inside a strongly connected component that also
+  contains a carry node — the load's value feeds, through the dependence
+  cycle, the computation that launches the next iteration (e.g. the
+  ``nzIdxA[iA]`` load of a stream-join).
+* class **B** — *inner-loop* memory instructions: loads and stores in a
+  leaf (innermost) loop. They execute frequently but do not gate the next
+  iteration.
+* class **C** — everything else.
+
+Class A is more critical than B: a long class-A load blocks *all*
+dependent work, while class-B latency is pipelined away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.dfg.graph import DFG, PortRef
+
+
+@dataclass
+class CriticalityReport:
+    """Per-class memory-node ids, plus recurrence metadata."""
+
+    class_a: list[int] = field(default_factory=list)
+    class_b: list[int] = field(default_factory=list)
+    class_c: list[int] = field(default_factory=list)
+    #: Non-trivial SCCs containing at least one carry (recurrences).
+    recurrences: list[frozenset[int]] = field(default_factory=list)
+
+    def klass(self, nid: int) -> str:
+        if nid in self.class_a:
+            return "A"
+        if nid in self.class_b:
+            return "B"
+        return "C"
+
+    def counts(self) -> dict[str, int]:
+        return {
+            "A": len(self.class_a),
+            "B": len(self.class_b),
+            "C": len(self.class_c),
+        }
+
+
+def dependence_graph(dfg: DFG) -> nx.DiGraph:
+    """The DFG's token-dependence digraph (port edges only)."""
+    graph = nx.DiGraph()
+    graph.add_nodes_from(dfg.nodes)
+    for node in dfg.nodes.values():
+        for inp in node.inputs:
+            if isinstance(inp, PortRef):
+                graph.add_edge(inp.src, node.nid)
+    return graph
+
+
+def leaf_loops(dfg: DFG) -> set[int]:
+    """Loop ids with no nested loops."""
+    parents = getattr(dfg, "loops_parent", {})
+    loops = set(parents)
+    with_children = {p for p in parents.values() if p is not None}
+    return loops - with_children
+
+
+def analyze_criticality(dfg: DFG) -> CriticalityReport:
+    """Classify memory nodes and annotate ``node.criticality`` in place."""
+    graph = dependence_graph(dfg)
+    report = CriticalityReport()
+
+    recurrence_members: set[int] = set()
+    for component in nx.strongly_connected_components(graph):
+        if len(component) < 2:
+            continue
+        has_carry = any(dfg.nodes[n].op == "carry" for n in component)
+        if has_carry:
+            report.recurrences.append(frozenset(component))
+            recurrence_members |= component
+
+    leaves = leaf_loops(dfg)
+    for node in dfg.nodes.values():
+        if not node.is_memory():
+            continue
+        if node.op == "load" and node.nid in recurrence_members:
+            node.criticality = "A"
+            report.class_a.append(node.nid)
+        elif node.attrs.get("loop") in leaves:
+            node.criticality = "B"
+            report.class_b.append(node.nid)
+        else:
+            node.criticality = "C"
+            report.class_c.append(node.nid)
+    report.class_a.sort()
+    report.class_b.sort()
+    report.class_c.sort()
+    return report
+
+
+def format_report(dfg: DFG, report: CriticalityReport) -> str:
+    """Human-readable criticality summary (used by examples and docs)."""
+    lines = [f"criticality report for {dfg.name!r}:"]
+    for klass, nids in (
+        ("A (recurrence-critical loads)", report.class_a),
+        ("B (inner-loop memory ops)", report.class_b),
+        ("C (other memory ops)", report.class_c),
+    ):
+        lines.append(f"  class {klass}: {len(nids)}")
+        for nid in nids[:16]:
+            node = dfg.nodes[nid]
+            lines.append(
+                f"    node {nid:4d} {node.op:5s} "
+                f"{node.attrs.get('array', ''):12s} tag={node.tag!r}"
+            )
+        if len(nids) > 16:
+            lines.append(f"    ... and {len(nids) - 16} more")
+    lines.append(f"  recurrences: {len(report.recurrences)}")
+    return "\n".join(lines)

@@ -1,0 +1,32 @@
+"""Dataflow graph: representation, lowering, analysis, interpretation."""
+
+from repro.dfg.graph import (
+    ALL_OPS,
+    DFG,
+    ImmRef,
+    MEMORY_OPS,
+    Node,
+    PortRef,
+)
+from repro.dfg.interp import InterpResult, run_dfg
+from repro.dfg.lower import eliminate_dead, lower_kernel, mem_token_var
+from repro.dfg.ops import NO_EMIT, Decision, MemRequest, decide, fresh_state
+
+__all__ = [
+    "ALL_OPS",
+    "DFG",
+    "Decision",
+    "ImmRef",
+    "InterpResult",
+    "MEMORY_OPS",
+    "MemRequest",
+    "NO_EMIT",
+    "Node",
+    "PortRef",
+    "decide",
+    "eliminate_dead",
+    "fresh_state",
+    "lower_kernel",
+    "mem_token_var",
+    "run_dfg",
+]

@@ -1,0 +1,92 @@
+"""DFG dumps: a readable text listing and Graphviz dot export."""
+
+from __future__ import annotations
+
+from repro.dfg.graph import DFG, Node, PortRef
+
+
+def _input_label(node: Node, index: int) -> str:
+    inp = node.inputs[index]
+    name = node.port_name(index)
+    if isinstance(inp, PortRef):
+        return f"{name}=%{inp.src}"
+    if inp.kind == "const":
+        return f"{name}={inp.value!r}"
+    return f"{name}=${inp.value}"
+
+
+def format_node(node: Node) -> str:
+    detail = node.attrs.get("opname") or node.attrs.get("array") or ""
+    if node.op == "steer":
+        detail = "T" if node.attrs.get("polarity") else "F"
+    if node.op == "inject":
+        imm = node.attrs["value"]
+        detail = (
+            repr(imm.value) if imm.kind == "const" else f"${imm.value}"
+        )
+    inputs = ", ".join(
+        _input_label(node, i) for i in range(len(node.inputs))
+    )
+    klass = f" #{node.criticality}" if node.is_memory() else ""
+    tag = f"  ; {node.tag}" if node.tag else ""
+    return (
+        f"%{node.nid:<4d} = {node.op}"
+        f"{f'.{detail}' if detail else ''}({inputs})"
+        f"{klass}{tag}"
+    )
+
+
+def format_dfg(dfg: DFG) -> str:
+    """Text listing of the whole graph, in node-id order."""
+    lines = [
+        f"dfg {dfg.name!r}: {len(dfg)} nodes, "
+        f"{len(dfg.edge_list())} edges, params={dfg.params}"
+    ]
+    for name, size in dfg.arrays.items():
+        lines.append(f"  array {name}[{size}]")
+    for nid in sorted(dfg.nodes):
+        lines.append("  " + format_node(dfg.nodes[nid]))
+    return "\n".join(lines)
+
+
+_SHAPES = {
+    "load": "box",
+    "store": "box",
+    "carry": "diamond",
+    "merge": "diamond",
+    "steer": "triangle",
+    "invariant": "diamond",
+    "source": "doublecircle",
+    "join": "house",
+}
+
+_CRIT_COLORS = {"A": "red", "B": "orange", "C": "gray70"}
+
+
+def to_dot(dfg: DFG) -> str:
+    """Graphviz dot text; memory nodes colored by criticality class."""
+    lines = [f'digraph "{dfg.name}" {{', "  rankdir=TB;"]
+    for nid in sorted(dfg.nodes):
+        node = dfg.nodes[nid]
+        label = node.op
+        if node.op in ("binop", "unop"):
+            label = node.attrs["opname"]
+        elif node.op in ("load", "store"):
+            label = f"{node.op} {node.attrs['array']}"
+        elif node.op == "steer":
+            label = "steer:T" if node.attrs["polarity"] else "steer:F"
+        if node.tag:
+            label += f"\\n{node.tag}"
+        shape = _SHAPES.get(node.op, "ellipse")
+        color = ""
+        if node.is_memory():
+            color = f', color={_CRIT_COLORS[node.criticality]}, penwidth=2'
+        lines.append(
+            f'  n{nid} [label="%{nid} {label}", shape={shape}{color}];'
+        )
+    for src, dst, index in dfg.edge_list():
+        port = dfg.nodes[dst].port_name(index)
+        style = ' [style=dashed]' if port in ("dec", "ord") else ""
+        lines.append(f"  n{src} -> n{dst}{style};")
+    lines.append("}")
+    return "\n".join(lines)

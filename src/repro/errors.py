@@ -1,0 +1,49 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class IRError(ReproError):
+    """Malformed kernel IR (bad builder usage, failed validation)."""
+
+
+class LoweringError(ReproError):
+    """The IR could not be lowered to a dataflow graph."""
+
+
+class DFGError(ReproError):
+    """Malformed dataflow graph or illegal DFG operation."""
+
+
+class ArchError(ReproError):
+    """Inconsistent architecture description (fabric, NoC, memory)."""
+
+
+class PnRError(ReproError):
+    """Place-and-route failure (no legal placement or unroutable design)."""
+
+
+class RoutingError(PnRError):
+    """The router could not route all nets within track capacity."""
+
+
+class PlacementError(PnRError):
+    """No legal placement exists (e.g. more memory nodes than LS PEs)."""
+
+
+class SimulationError(ReproError):
+    """The timed simulator reached an illegal state."""
+
+
+class DeadlockError(SimulationError):
+    """No forward progress while tokens remain in flight."""
+
+
+class ExperimentError(ReproError):
+    """Experiment harness misconfiguration."""

@@ -1,0 +1,59 @@
+"""Experiment harness: regenerate every table and figure of the paper."""
+
+from repro.exp.cache import GLOBAL_CACHE, CompileCache
+from repro.exp.configs import (
+    MONACO,
+    MachineConfig,
+    ideal,
+    numa,
+    primary_configs,
+    upea,
+)
+from repro.exp.dse import ls_placement_dse
+from repro.exp.figures import (
+    FigureResult,
+    fig6c,
+    fig11,
+    fig12,
+    fig14,
+    fig15,
+    fig16,
+    fig17,
+)
+from repro.exp.report import format_figure
+from repro.exp.runner import (
+    PAPER_DIVIDER,
+    RunResult,
+    compile_cached,
+    run_config,
+    run_workload_on_configs,
+)
+from repro.exp.tables import format_table1, table1
+
+__all__ = [
+    "CompileCache",
+    "FigureResult",
+    "GLOBAL_CACHE",
+    "MONACO",
+    "MachineConfig",
+    "PAPER_DIVIDER",
+    "RunResult",
+    "compile_cached",
+    "fig6c",
+    "fig11",
+    "fig12",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "format_figure",
+    "format_table1",
+    "ideal",
+    "ls_placement_dse",
+    "numa",
+    "primary_configs",
+    "run_config",
+    "run_workload_on_configs",
+    "table1",
+    "upea",
+]

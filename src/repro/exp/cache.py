@@ -1,0 +1,32 @@
+"""Compile cache: PnR is deterministic, so share results across figures."""
+
+from __future__ import annotations
+
+from repro.pnr.result import CompiledKernel
+
+
+class CompileCache:
+    """Memoizes compiled kernels by an explicit configuration key."""
+
+    def __init__(self):
+        self._store: dict[tuple, CompiledKernel] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get_or_compile(self, key: tuple, thunk) -> CompiledKernel:
+        if key in self._store:
+            self.hits += 1
+            return self._store[key]
+        self.misses += 1
+        compiled = thunk()
+        self._store[key] = compiled
+        return compiled
+
+    def clear(self) -> None:
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+#: Process-wide cache used by the experiment harness and benchmarks.
+GLOBAL_CACHE = CompileCache()

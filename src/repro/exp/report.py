@@ -1,0 +1,40 @@
+"""Plain-text rendering of figure/table results."""
+
+from __future__ import annotations
+
+from repro.exp.figures import FigureResult
+
+
+def format_figure(result: FigureResult, precision: int = 3) -> str:
+    """Render a FigureResult as an aligned text table."""
+    label_width = max(
+        [len(r) for r in result.rows] + [len(result.figure), 8]
+    )
+    col_width = max([len(c) for c in result.columns] + [9]) + 2
+    lines = [f"{result.figure}: {result.title}"]
+    header = " " * label_width + "".join(
+        c.rjust(col_width) for c in result.columns
+    )
+    lines.append(header)
+    for name, row in result.rows.items():
+        cells = []
+        for column in result.columns:
+            value = row.get(column)
+            if value is None:
+                cells.append("-".rjust(col_width))
+            elif value == float("inf"):
+                cells.append("unroutable".rjust(col_width))
+            else:
+                cells.append(f"{value:.{precision}f}".rjust(col_width))
+        lines.append(name.ljust(label_width) + "".join(cells))
+    geo = [
+        result.geomean(c) for c in result.columns
+    ]
+    if len(result.rows) > 1 and any(geo):
+        lines.append(
+            "geomean".ljust(label_width)
+            + "".join(f"{g:.{precision}f}".rjust(col_width) for g in geo)
+        )
+    for note in result.notes:
+        lines.append(f"  note: {note}")
+    return "\n".join(lines)

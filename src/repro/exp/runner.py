@@ -1,0 +1,112 @@
+"""Run (workload, machine config) pairs and collect cycle counts.
+
+Every simulated run is validated against the workload's reference output
+— a performance number from a run that computed the wrong answer would be
+meaningless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.fabric import Fabric, monaco
+from repro.arch.params import ArchParams
+from repro.core.policy import EFFCC, PlacementPolicy
+from repro.exp.cache import GLOBAL_CACHE
+from repro.exp.configs import MachineConfig
+from repro.pnr.flow import compile_kernel
+from repro.pnr.result import CompiledKernel
+from repro.sim.engine import simulate
+from repro.sim.stats import SimStats
+from repro.workloads.base import WorkloadInstance
+from repro.workloads.registry import make_workload
+
+#: The paper's evaluated fabric clock divider (Sec. 6).
+PAPER_DIVIDER = 2
+
+
+@dataclass
+class RunResult:
+    workload: str
+    config: str
+    cycles: int
+    stats: SimStats
+    parallelism: int
+
+
+def compile_cached(
+    instance: WorkloadInstance,
+    fabric: Fabric,
+    arch: ArchParams,
+    policy: PlacementPolicy = EFFCC,
+    parallelism: int | None = None,
+    seed: int = 0,
+) -> CompiledKernel:
+    """Compile with the shared cache (PnR is deterministic given the key)."""
+    key = (
+        instance.name,
+        instance.meta.get("table1"),
+        fabric.name,
+        arch.noc_tracks,
+        policy.name,
+        parallelism,
+        seed,
+    )
+    return GLOBAL_CACHE.get_or_compile(
+        key,
+        lambda: compile_kernel(
+            instance.kernel,
+            fabric,
+            arch,
+            policy=policy,
+            parallelism=parallelism,
+            seed=seed,
+        ),
+    )
+
+
+def run_config(
+    instance: WorkloadInstance,
+    compiled: CompiledKernel,
+    config: MachineConfig,
+    arch: ArchParams,
+    divider: int = PAPER_DIVIDER,
+) -> RunResult:
+    """Simulate one (compiled workload, machine config) pair and validate."""
+    result = simulate(
+        compiled,
+        instance.params,
+        instance.arrays,
+        arch,
+        frontend_factory=config.frontend_factory(divider),
+        divider=divider,
+    )
+    instance.check(result.memory)
+    return RunResult(
+        workload=instance.name,
+        config=config.name,
+        cycles=result.stats.system_cycles,
+        stats=result.stats,
+        parallelism=compiled.parallelism,
+    )
+
+
+def run_workload_on_configs(
+    name: str,
+    configs: list[MachineConfig],
+    scale: str = "small",
+    seed: int = 0,
+    arch: ArchParams | None = None,
+    fabric: Fabric | None = None,
+    policy: PlacementPolicy = EFFCC,
+    divider: int = PAPER_DIVIDER,
+) -> dict[str, RunResult]:
+    """Compile once, then simulate under each interconnect config."""
+    arch = arch or ArchParams()
+    fabric = fabric or monaco(12, 12)
+    instance = make_workload(name, scale=scale, seed=seed)
+    compiled = compile_cached(instance, fabric, arch, policy=policy, seed=seed)
+    return {
+        config.name: run_config(instance, compiled, config, arch, divider)
+        for config in configs
+    }

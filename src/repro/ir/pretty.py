@@ -1,0 +1,108 @@
+"""Pretty-printer for kernel IR (debugging and golden tests)."""
+
+from __future__ import annotations
+
+from repro.errors import IRError
+from repro.ir.ast import (
+    Assign,
+    BinOp,
+    Const,
+    Expr,
+    For,
+    If,
+    Kernel,
+    Load,
+    Par,
+    ParFor,
+    Select,
+    Stmt,
+    Store,
+    UnOp,
+    Var,
+    While,
+)
+
+
+def format_expr(expr: Expr) -> str:
+    if isinstance(expr, Const):
+        return repr(expr.value)
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, BinOp):
+        if expr.op in ("min", "max"):
+            return (
+                f"{expr.op}({format_expr(expr.lhs)}, "
+                f"{format_expr(expr.rhs)})"
+            )
+        return f"({format_expr(expr.lhs)} {expr.op} {format_expr(expr.rhs)})"
+    if isinstance(expr, UnOp):
+        if expr.op == "abs":
+            return f"abs({format_expr(expr.operand)})"
+        return f"({expr.op} {format_expr(expr.operand)})"
+    if isinstance(expr, Select):
+        return (
+            f"select({format_expr(expr.cond)}, "
+            f"{format_expr(expr.on_true)}, {format_expr(expr.on_false)})"
+        )
+    raise IRError(f"unknown expression {expr!r}")
+
+
+def format_stmt(stmt: Stmt, indent: int = 0) -> list[str]:
+    pad = "  " * indent
+    if isinstance(stmt, Assign):
+        return [f"{pad}{stmt.var} = {format_expr(stmt.expr)}"]
+    if isinstance(stmt, Load):
+        return [
+            f"{pad}{stmt.var} = {stmt.array}[{format_expr(stmt.index)}]"
+        ]
+    if isinstance(stmt, Store):
+        return [
+            f"{pad}{stmt.array}[{format_expr(stmt.index)}] = "
+            f"{format_expr(stmt.value)}"
+        ]
+    if isinstance(stmt, If):
+        lines = [f"{pad}if {format_expr(stmt.cond)}:"]
+        lines += _body(stmt.then_body, indent + 1)
+        if stmt.else_body:
+            lines.append(f"{pad}else:")
+            lines += _body(stmt.else_body, indent + 1)
+        return lines
+    if isinstance(stmt, While):
+        lines = [f"{pad}while {format_expr(stmt.cond)}:"]
+        return lines + _body(stmt.body, indent + 1)
+    if isinstance(stmt, (For, ParFor)):
+        keyword = "parfor" if isinstance(stmt, ParFor) else "for"
+        header = (
+            f"{pad}{keyword} {stmt.var} in range("
+            f"{format_expr(stmt.lo)}, {format_expr(stmt.hi)}"
+        )
+        if not (isinstance(stmt.step, Const) and stmt.step.value == 1):
+            header += f", {format_expr(stmt.step)}"
+        header += "):"
+        return [header] + _body(stmt.body, indent + 1)
+    if isinstance(stmt, Par):
+        lines = [f"{pad}par:"]
+        for index, block in enumerate(stmt.blocks):
+            lines.append(f"{pad}  block {index}:")
+            lines += _body(block, indent + 2)
+        return lines
+    raise IRError(f"unknown statement {type(stmt).__name__}")
+
+
+def _body(body: list[Stmt], indent: int) -> list[str]:
+    if not body:
+        return ["  " * indent + "pass"]
+    lines: list[str] = []
+    for stmt in body:
+        lines += format_stmt(stmt, indent)
+    return lines
+
+
+def format_kernel(kernel: Kernel) -> str:
+    """Render a kernel as pseudo-code."""
+    params = ", ".join(kernel.params)
+    lines = [f"kernel {kernel.name}({params}):"]
+    for spec in kernel.arrays:
+        lines.append(f"  array {spec.name}[{spec.size}] : {spec.dtype}")
+    lines += _body(kernel.body, 1)
+    return "\n".join(lines)

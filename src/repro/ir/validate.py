@@ -1,0 +1,171 @@
+"""Kernel IR validation.
+
+Enforces the structural rules the dataflow lowering relies on:
+
+* every variable is defined before use on all paths;
+* a variable assigned inside a conditional or loop and used afterwards must
+  also be defined before the region (the lowering needs an incoming value
+  for the merge / loop-carry);
+* ``parfor`` bodies do not assign variables defined outside the loop;
+* arrays are declared before use and constant loop steps are positive.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IRError
+from repro.ir.ast import (
+    Assign,
+    Const,
+    Expr,
+    For,
+    If,
+    Kernel,
+    Load,
+    Par,
+    ParFor,
+    Stmt,
+    Store,
+    While,
+    expr_vars,
+)
+
+
+def validate_kernel(kernel: Kernel) -> None:
+    """Raise :class:`IRError` if ``kernel`` violates any structural rule."""
+    declared_arrays = set(kernel.array_names())
+    if len(declared_arrays) != len(kernel.arrays):
+        raise IRError(f"kernel {kernel.name}: duplicate array declaration")
+    if len(set(kernel.params)) != len(kernel.params):
+        raise IRError(f"kernel {kernel.name}: duplicate parameter")
+    checker = _Checker(kernel.name, declared_arrays)
+    checker.check_block(kernel.body, set(kernel.params))
+
+
+class _Checker:
+    def __init__(self, kernel_name: str, arrays: set[str]):
+        self.kernel_name = kernel_name
+        self.arrays = arrays
+
+    def fail(self, message: str) -> None:
+        raise IRError(f"kernel {self.kernel_name}: {message}")
+
+    def check_expr(self, expr: Expr, defined: set[str], where: str) -> None:
+        missing = expr_vars(expr) - defined
+        if missing:
+            name = sorted(missing)[0]
+            self.fail(f"variable {name!r} used before definition in {where}")
+
+    def check_array(self, name: str) -> None:
+        if name not in self.arrays:
+            self.fail(f"array {name!r} is not declared")
+
+    def check_step(self, stmt: For | ParFor) -> None:
+        if isinstance(stmt.step, Const) and stmt.step.value <= 0:
+            self.fail(f"loop over {stmt.var!r} has non-positive step")
+
+    def check_block(self, body: list[Stmt], defined: set[str]) -> set[str]:
+        """Check ``body``; return the set of vars defined after it."""
+        defined = set(defined)
+        for stmt in body:
+            defined = self.check_stmt(stmt, defined)
+        return defined
+
+    def check_stmt(self, stmt: Stmt, defined: set[str]) -> set[str]:
+        if isinstance(stmt, Assign):
+            self.check_expr(stmt.expr, defined, f"assignment to {stmt.var!r}")
+            return defined | {stmt.var}
+        if isinstance(stmt, Load):
+            self.check_array(stmt.array)
+            self.check_expr(stmt.index, defined, f"load from {stmt.array!r}")
+            return defined | {stmt.var}
+        if isinstance(stmt, Store):
+            self.check_array(stmt.array)
+            self.check_expr(stmt.index, defined, f"store to {stmt.array!r}")
+            self.check_expr(stmt.value, defined, f"store to {stmt.array!r}")
+            return defined
+        if isinstance(stmt, If):
+            self.check_expr(stmt.cond, defined, "if condition")
+            after_then = self.check_block(stmt.then_body, defined)
+            after_else = self.check_block(stmt.else_body, defined)
+            # Vars surviving the conditional: defined before, or in both arms.
+            return defined | (after_then & after_else)
+        if isinstance(stmt, While):
+            # Carried variables must exist before the loop: the body may only
+            # reference vars defined before the loop or (re)defined earlier
+            # in the body itself, starting from the pre-loop environment.
+            self.check_expr(stmt.cond, defined, "while condition")
+            after = self.check_block(stmt.body, defined)
+            new_vars = after - defined
+            self._check_loop_cond_defined(stmt.cond, defined)
+            del new_vars  # body-local temporaries die at the loop back-edge
+            return defined
+        if isinstance(stmt, (For, ParFor)):
+            if stmt.var in defined:
+                self.fail(
+                    f"loop variable {stmt.var!r} shadows an existing "
+                    "definition"
+                )
+            self.check_step(stmt)
+            for expr, where in (
+                (stmt.lo, "loop lower bound"),
+                (stmt.hi, "loop upper bound"),
+                (stmt.step, "loop step"),
+            ):
+                self.check_expr(expr, defined, where)
+            inner = defined | {stmt.var}
+            after = self.check_block(stmt.body, inner)
+            if isinstance(stmt, ParFor):
+                reassigned = {
+                    s.var
+                    for s in stmt.body
+                    if isinstance(s, (Assign, Load)) and s.var in defined
+                }
+                reassigned |= self._deep_outer_writes(stmt.body, defined)
+                if reassigned:
+                    name = sorted(reassigned)[0]
+                    self.fail(
+                        f"parfor over {stmt.var!r} assigns outer "
+                        f"variable {name!r}"
+                    )
+            del after
+            return defined
+        if isinstance(stmt, Par):
+            for block in stmt.blocks:
+                self.check_block(block, defined)
+            return defined
+        self.fail(f"unknown statement type {type(stmt).__name__}")
+        return defined  # pragma: no cover
+
+    def _check_loop_cond_defined(self, cond: Expr, defined: set[str]) -> None:
+        missing = expr_vars(cond) - defined
+        if missing:
+            name = sorted(missing)[0]
+            self.fail(
+                f"while condition reads {name!r}, which is not defined "
+                "before the loop (loop-carried vars must be initialized)"
+            )
+
+    def _deep_outer_writes(
+        self, body: list[Stmt], outer: set[str]
+    ) -> set[str]:
+        """Vars from ``outer`` assigned anywhere (recursively) in ``body``."""
+        writes: set[str] = set()
+        local = set()
+        for stmt in body:
+            if isinstance(stmt, (Assign, Load)):
+                if stmt.var in outer and stmt.var not in local:
+                    writes.add(stmt.var)
+                local.add(stmt.var)
+            elif isinstance(stmt, If):
+                writes |= self._deep_outer_writes(
+                    stmt.then_body, outer - local
+                )
+                writes |= self._deep_outer_writes(
+                    stmt.else_body, outer - local
+                )
+            elif isinstance(stmt, (While, For, ParFor)):
+                writes |= self._deep_outer_writes(stmt.body, outer - local)
+            elif isinstance(stmt, Par):
+                for block in stmt.blocks:
+                    writes |= self._deep_outer_writes(block, outer - local)
+        return writes

@@ -1,0 +1,378 @@
+"""Placement: NUPEA-aware simulated annealing (paper Sec. 5).
+
+The flow mirrors effcc's: memory instructions are placed first, favoring
+NUPEA domains in the preference order ``D0.c0 <= D0.c1 <= ... <= D1.c0``
+weighted by criticality class; all other instructions are then placed
+greedily in breadth-first order through defs and uses; finally simulated
+annealing refines the placement under a cost that combines communication
+locality with a throughput-reduction factor for memory latency.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.arch.fabric import Fabric
+from repro.arch.pe import PE, manhattan
+
+from repro.core.policy import PlacementPolicy, domain_latency_rank
+from repro.dfg.graph import DFG, PortRef
+from repro.errors import PlacementError
+from repro.pnr.netlist import Netlist
+
+Coord = tuple[int, int]
+
+#: Weight of the memory-latency (throughput) term against wirelength.
+MEM_WEIGHT = 6.0
+#: Quadratic penalty that discourages individual long nets (a proxy for
+#: the max-path-delay objective static timing later enforces).
+QUAD_WEIGHT = 0.3
+
+
+class Placement:
+    """A complete node -> PE assignment with incremental cost tracking."""
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        fabric: Fabric,
+        policy: PlacementPolicy,
+        mem_scale: float = 1.0,
+    ):
+        self.netlist = netlist
+        self.fabric = fabric
+        self.policy = policy
+        #: Scales the memory-preference term; the flow lowers it when
+        #: timing feedback shows the near-memory pull is congesting the
+        #: data NoC (placement/routing negotiation).
+        self.mem_scale = mem_scale
+        self.loc: dict[int, Coord] = {}
+        self.occupant: dict[Coord, int] = {}
+
+    # -- assignment ------------------------------------------------------
+
+    def assign(self, nid: int, coord: Coord) -> None:
+        if coord in self.occupant:
+            raise PlacementError(f"PE {coord} already occupied")
+        self.loc[nid] = coord
+        self.occupant[coord] = nid
+
+    def move(self, nid: int, coord: Coord) -> None:
+        del self.occupant[self.loc[nid]]
+        self.loc[nid] = coord
+        self.occupant[coord] = nid
+
+    def swap(self, a: int, b: int) -> None:
+        la, lb = self.loc[a], self.loc[b]
+        self.loc[a], self.loc[b] = lb, la
+        self.occupant[la], self.occupant[lb] = b, a
+
+    def legal(self, nid: int, coord: Coord) -> bool:
+        node = self.netlist.dfg.nodes[nid]
+        return self.fabric.pes[coord].supports(node.op)
+
+    # -- cost ------------------------------------------------------------
+
+    def net_cost(self, net_index: int) -> float:
+        net = self.netlist.nets[net_index]
+        src = self.loc[net.src]
+        cost = 0.0
+        for sink in net.sinks:
+            if sink == net.src:
+                continue
+            dist = manhattan(src, self.loc[sink])
+            cost += dist + QUAD_WEIGHT * dist * dist
+        return cost
+
+    def mem_cost(self, nid: int) -> float:
+        node = self.netlist.dfg.nodes[nid]
+        if not node.is_memory():
+            return 0.0
+        weight = self.policy.weight(node.criticality)
+        if weight == 0.0:
+            return 0.0
+        pe = self.fabric.pes[self.loc[nid]]
+        rank = domain_latency_rank(
+            self.fabric.domains[pe.domain].arbiter_hops, pe.column_rank
+        )
+        return MEM_WEIGHT * self.mem_scale * weight * rank
+
+    def cell_cost(self, nid: int) -> float:
+        cost = self.mem_cost(nid)
+        for net_index in self.netlist.nets_of[nid]:
+            cost += self.net_cost(net_index)
+        return cost
+
+    def total_cost(self) -> float:
+        cost = sum(self.net_cost(i) for i in range(len(self.netlist.nets)))
+        cost += sum(self.mem_cost(nid) for nid in self.netlist.cells)
+        return cost
+
+
+def initial_placement(
+    netlist: Netlist,
+    fabric: Fabric,
+    policy: PlacementPolicy,
+    rng: random.Random,
+    mem_scale: float = 1.0,
+) -> Placement:
+    """Deterministic seed placement: memory first, then greedy BFS.
+
+    Memory nodes are grouped by connected *cluster* (spatially replicated
+    workers are independent subgraphs) and each cluster is confined to a
+    contiguous band of LS rows: within a band, the NUPEA preference order
+    (fast domains and columns first, criticality classes in order) decides
+    slots. Banding keeps each worker's nodes spatially compact, which is
+    what lets the annealer converge to short nets on large fabrics.
+    """
+    dfg = netlist.dfg
+    if len(netlist.cells) > fabric.size():
+        raise PlacementError(
+            f"{len(netlist.cells)} nodes exceed fabric capacity "
+            f"{fabric.size()}"
+        )
+    mem_nodes = [n for n in netlist.cells if dfg.nodes[n].is_memory()]
+    if len(mem_nodes) > len(fabric.ls_pes()):
+        raise PlacementError(
+            f"{len(mem_nodes)} memory nodes exceed {len(fabric.ls_pes())} "
+            "LS PEs"
+        )
+    placement = Placement(netlist, fabric, policy, mem_scale=mem_scale)
+
+    clusters = _clusters(netlist)
+    bands = _row_bands(clusters, dfg, fabric)
+    if policy.domain_aware:
+        all_slots = fabric.preferred_ls_slots()
+    else:
+        all_slots = sorted(fabric.ls_pes(), key=lambda pe: (pe.y, pe.x))
+    klass_order = {"A": 0, "B": 1, "C": 2}
+    for cluster, band in zip(clusters, bands):
+        mems = sorted(n for n in cluster if dfg.nodes[n].is_memory())
+        if policy.criticality_aware:
+            mems.sort(
+                key=lambda n: (klass_order[dfg.nodes[n].criticality], n)
+            )
+        elif policy.domain_aware:
+            # Domain-aware but criticality-blind: the policy "does not
+            # distinguish between the few critical loads and the many
+            # others" (Sec. 7.1), so the order within a cluster is
+            # arbitrary.
+            rng.shuffle(mems)
+        band_slots = [pe for pe in all_slots if pe.y in band]
+        for nid in mems:
+            slot = _first_free(placement, band_slots) or _first_free(
+                placement, all_slots
+            )
+            if slot is None:
+                raise PlacementError("ran out of LS PEs")  # pragma: no cover
+            placement.assign(nid, slot.coord)
+
+    _greedy_rest(netlist, fabric, placement)
+    return placement
+
+
+def _first_free(placement: Placement, slots: list[PE]) -> PE | None:
+    for pe in slots:
+        if pe.coord not in placement.occupant:
+            return pe
+    return None
+
+
+def _clusters(netlist: Netlist) -> list[list[int]]:
+    """Connected components, ignoring broadcast and synchronization nodes.
+
+    The launch token and constant injections fan out to every replicated
+    worker, and memory-token joins bridge parallel phases; excluding them
+    recovers the per-worker subgraphs that should be placed compactly.
+    """
+    dfg = netlist.dfg
+    skip = {
+        n.nid
+        for n in dfg.nodes.values()
+        if n.op in ("source", "inject", "join")
+    }
+    parent: dict[int, int] = {n: n for n in netlist.cells}
+
+    def find(a: int) -> int:
+        while parent[a] != a:
+            parent[a] = parent[parent[a]]
+            a = parent[a]
+        return a
+
+    for node in dfg.nodes.values():
+        if node.nid in skip:
+            continue
+        for inp in node.inputs:
+            if isinstance(inp, PortRef) and inp.src not in skip:
+                ra, rb = find(node.nid), find(inp.src)
+                if ra != rb:
+                    parent[ra] = rb
+    groups: dict[int, list[int]] = {}
+    for nid in netlist.cells:
+        groups.setdefault(find(nid), []).append(nid)
+    return sorted(groups.values(), key=min)
+
+
+def _row_bands(
+    clusters: list[list[int]], dfg, fabric: Fabric
+) -> list[set[int]]:
+    """Contiguous LS-row spans per cluster, sized by memory-node count."""
+    ls_rows = fabric.ls_rows()
+    weights = [
+        max(1, sum(1 for n in c if dfg.nodes[n].is_memory()))
+        for c in clusters
+    ]
+    total = sum(weights)
+    d0_width = max(1, len(fabric.domains[0].columns))
+    bands: list[set[int]] = []
+    cursor = 0.0
+    for weight in weights:
+        span = weight / total * len(ls_rows)
+        lo = int(cursor)
+        hi = max(lo + 1, int(cursor + span + 1e-9))
+        # Cap the band at what the cluster's memory nodes actually need
+        # (bands anchor clusters; they need not tile the whole fabric).
+        need = max(1, -(-weight // d0_width)) + 1
+        hi = min(hi, lo + need)
+        bands.append(set(ls_rows[lo:hi]))
+        cursor += span
+    return bands
+
+
+def _neighbors_map(dfg: DFG) -> dict[int, list[int]]:
+    """Undirected def/use adjacency."""
+    adjacency: dict[int, list[int]] = {nid: [] for nid in dfg.nodes}
+    for node in dfg.nodes.values():
+        for inp in node.inputs:
+            if isinstance(inp, PortRef):
+                adjacency[node.nid].append(inp.src)
+                adjacency[inp.src].append(node.nid)
+    return adjacency
+
+
+def _greedy_rest(
+    netlist: Netlist, fabric: Fabric, placement: Placement
+) -> None:
+    """Place remaining cells in BFS order near their placed neighbors."""
+    dfg = netlist.dfg
+    adjacency = _neighbors_map(dfg)
+    free: list[Coord] = [
+        pe.coord
+        for pe in sorted(fabric.pes.values(), key=lambda p: (p.y, p.x))
+        if pe.coord not in placement.occupant
+    ]
+    frontier = sorted(placement.loc)
+    visited = set(frontier)
+    queue = list(frontier)
+    order: list[int] = []
+    while queue:
+        current = queue.pop(0)
+        for neighbor in adjacency[current]:
+            if neighbor not in visited:
+                visited.add(neighbor)
+                order.append(neighbor)
+                queue.append(neighbor)
+    # Any disconnected leftovers (rare) go last.
+    order += [n for n in netlist.cells if n not in visited]
+
+    for nid in order:
+        if nid in placement.loc:
+            continue
+        anchors = [
+            placement.loc[a] for a in adjacency[nid] if a in placement.loc
+        ]
+        best, best_cost = None, None
+        for coord in free:
+            if not placement.legal(nid, coord):
+                continue
+            cost = sum(manhattan(coord, a) for a in anchors)
+            if best_cost is None or cost < best_cost:
+                best, best_cost = coord, cost
+        if best is None:
+            raise PlacementError(
+                f"no legal free PE for node {nid} "
+                f"({dfg.nodes[nid].op})"
+            )
+        placement.assign(nid, best)
+        free.remove(best)
+
+
+def anneal(
+    placement: Placement,
+    rng: random.Random,
+    moves: int | None = None,
+    t_start: float = 8.0,
+    t_end: float = 0.05,
+) -> float:
+    """Refine ``placement`` in place; returns the final cost."""
+    netlist = placement.netlist
+    fabric = placement.fabric
+    cells = list(netlist.cells)
+    if not cells:
+        return 0.0
+    if moves is None:
+        moves = min(60_000, 200 * len(cells))
+    alpha = (t_end / t_start) ** (1.0 / max(1, moves))
+    temperature = t_start
+    cost = placement.total_cost()
+    max_window = max(fabric.rows, fabric.cols)
+
+    for step in range(moves):
+        nid = rng.choice(cells)
+        # VPR-style range limit: the candidate window shrinks as the
+        # anneal cools, so late moves are local refinements.
+        window = max(2, round(max_window * (1.0 - step / moves)))
+        cx, cy = placement.loc[nid]
+        target = (
+            min(
+                fabric.cols - 1,
+                max(0, cx + rng.randint(-window, window)),
+            ),
+            min(
+                fabric.rows - 1,
+                max(0, cy + rng.randint(-window, window)),
+            ),
+        )
+        if target == placement.loc[nid]:
+            temperature *= alpha
+            continue
+        other = placement.occupant.get(target)
+        if not placement.legal(nid, target):
+            temperature *= alpha
+            continue
+        if other is not None and not placement.legal(
+            other, placement.loc[nid]
+        ):
+            temperature *= alpha
+            continue
+
+        if other is None:
+            before = placement.cell_cost(nid)
+            origin = placement.loc[nid]
+            placement.move(nid, target)
+            delta = placement.cell_cost(nid) - before
+            if delta > 0 and rng.random() >= math.exp(-delta / temperature):
+                placement.move(nid, origin)
+            else:
+                cost += delta
+        else:
+            before = _pair_cost(placement, nid, other)
+            placement.swap(nid, other)
+            delta = _pair_cost(placement, nid, other) - before
+            if delta > 0 and rng.random() >= math.exp(-delta / temperature):
+                placement.swap(nid, other)
+            else:
+                cost += delta
+        temperature *= alpha
+    return cost
+
+
+def _pair_cost(placement: Placement, a: int, b: int) -> float:
+    nets = set(placement.netlist.nets_of[a]) | set(
+        placement.netlist.nets_of[b]
+    )
+    cost = placement.mem_cost(a) + placement.mem_cost(b)
+    for net_index in nets:
+        cost += placement.net_cost(net_index)
+    return cost

@@ -1,0 +1,297 @@
+"""Region splitting: fit oversized programs onto the fabric (Sec. 5).
+
+"effcc splits programs into regions that fit on Monaco's fabric." A
+*region* is a prefix of top-level statements whose lowered dataflow graph
+fits the fabric; regions execute as separate bitstreams, one after the
+other, with memory persisting between launches.
+
+Scalar values that cross a region boundary are *spilled*: the producing
+region appends stores into a reserved ``__spill`` array, and the host
+reads those words back between launches and passes them to the next
+region as launch-time parameters (Monaco's ``xdata``) — exactly how a
+host CPU drives a multi-bitstream program.
+
+Splitting happens at top-level statement boundaries only; a single
+top-level loop nest that does not fit on its own cannot be split (that
+would require loop fission, which effcc performs upstream of this pass).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.fabric import Fabric
+from repro.arch.params import ArchParams
+from repro.core.policy import EFFCC, PlacementPolicy
+from repro.dfg.lower import lower_kernel
+from repro.errors import PnRError
+from repro.ir.ast import (
+    ArraySpec,
+    Assign,
+    Const,
+    If,
+    Kernel,
+    Load,
+    Stmt,
+    Store,
+    Var,
+    walk_stmts,
+)
+from repro.ir.validate import validate_kernel
+from repro.pnr.flow import compile_kernel
+from repro.pnr.result import CompiledKernel
+
+SPILL_ARRAY = "__spill"
+
+#: Words reserved for spilled scalars. Fixed so every region declares an
+#: identical array list and therefore sees identical base addresses.
+SPILL_WORDS = 64
+
+#: Fraction of fabric resources a region may claim at parallelism 1
+#: (headroom keeps placement and routing feasible).
+FIT_MARGIN = 0.95
+
+
+@dataclass
+class Region:
+    """One bitstream: its kernel, live-in scalars, live-out spills."""
+
+    kernel: Kernel
+    #: Scalars this region receives as extra launch parameters, in the
+    #: order they were appended to ``kernel.params``.
+    live_in: list[str] = field(default_factory=list)
+    #: Scalars this region spills: var name -> spill slot.
+    spills: dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class RegionProgram:
+    """A split program: regions plus the shared spill-slot assignment."""
+
+    name: str
+    regions: list[Region]
+    spill_slots: dict[str, int]
+
+    def __len__(self) -> int:
+        return len(self.regions)
+
+
+@dataclass
+class CompiledRegionProgram:
+    """Compiled bitstreams for each region."""
+
+    program: RegionProgram
+    compiled: list[CompiledKernel]
+
+    def __len__(self) -> int:
+        return len(self.compiled)
+
+
+def _recursive_reads(stmt: Stmt) -> set[str]:
+    """Free variable reads of ``stmt`` (loop-bound vars excluded).
+
+    Loop variables are bound by their own loop, so reads of them inside
+    the statement are not free; validated kernels never shadow an outer
+    name with a loop variable, so subtracting bound names is sound.
+    """
+    from repro.ir.ast import For, ParFor, expr_vars, stmt_exprs
+
+    reads: set[str] = set()
+    bound: set[str] = set()
+    for inner in walk_stmts([stmt]):
+        for expr in stmt_exprs(inner):
+            reads |= expr_vars(expr)
+        if isinstance(inner, (For, ParFor)):
+            bound.add(inner.var)
+    return reads - bound
+
+
+def _definite_writes(stmt: Stmt) -> set[str]:
+    """Vars definitely assigned by ``stmt`` on every path."""
+    if isinstance(stmt, (Assign, Load)):
+        return {stmt.var}
+    if isinstance(stmt, If):
+        then_w: set[str] = set()
+        for s in stmt.then_body:
+            then_w |= _definite_writes(s)
+        else_w: set[str] = set()
+        for s in stmt.else_body:
+            else_w |= _definite_writes(s)
+        return then_w & else_w
+    return set()  # loops may run zero iterations
+
+
+def _fits(kernel: Kernel, fabric: Fabric, margin: float) -> bool:
+    dfg = lower_kernel(kernel)
+    if len(dfg) > margin * fabric.size():
+        return False
+    mem_nodes = sum(1 for n in dfg.nodes.values() if n.is_memory())
+    return mem_nodes <= margin * len(fabric.ls_pes())
+
+
+def split_kernel(
+    kernel: Kernel, fabric: Fabric, margin: float = FIT_MARGIN
+) -> RegionProgram:
+    """Split ``kernel`` into fabric-sized regions with scalar spilling.
+
+    ``margin`` bounds the fraction of fabric resources a region's lowered
+    graph may claim; the compile driver retries with tighter margins when
+    a region that fits by node count still fails placement or routing.
+    """
+    statements = list(kernel.body)
+    # Per top-level statement: what it reads (anywhere) and definitely
+    # defines at top level.
+    reads = [_recursive_reads(s) for s in statements]
+    defines = [_definite_writes(s) for s in statements]
+
+    boundaries: list[tuple[int, int]] = []  # [start, end) stmt ranges
+    start = 0
+    while start < len(statements):
+        end = start + 1
+        last_good = None
+        while end <= len(statements):
+            probe_live = sorted(
+                _live_in(statements, reads, defines, start, end)
+                - set(kernel.params)
+            )
+            candidate = _region_kernel(
+                kernel, statements, reads, defines, start, end, {},
+                live_in=probe_live,
+            )
+            if _fits(candidate, fabric, margin):
+                last_good = end
+                end += 1
+            else:
+                break
+        if last_good is None:
+            raise PnRError(
+                f"kernel {kernel.name!r}: top-level statement {start} "
+                f"does not fit on {fabric.name} even alone; split the "
+                "loop nest in the kernel source"
+            )
+        boundaries.append((start, last_good))
+        start = last_good
+
+    # Assign spill slots: vars defined in one region and read in a later
+    # one.
+    spill_slots: dict[str, int] = {}
+    defined_by_region: list[set[str]] = []
+    for s, e in boundaries:
+        defined: set[str] = set()
+        for i in range(s, e):
+            defined |= defines[i]
+        defined_by_region.append(defined)
+    for index, (s, e) in enumerate(boundaries):
+        earlier: set[str] = set()
+        for prev in range(index):
+            earlier |= defined_by_region[prev]
+        needed = _live_in(statements, reads, defines, s, e) & earlier
+        for var in sorted(needed):
+            spill_slots.setdefault(var, len(spill_slots))
+    if len(spill_slots) > SPILL_WORDS:
+        raise PnRError(
+            f"kernel {kernel.name!r}: {len(spill_slots)} spilled scalars "
+            f"exceed the {SPILL_WORDS}-word spill area"
+        )
+
+    regions: list[Region] = []
+    for index, (s, e) in enumerate(boundaries):
+        earlier = set()
+        for prev in range(index):
+            earlier |= defined_by_region[prev]
+        live_in = sorted(
+            _live_in(statements, reads, defines, s, e) & earlier
+        )
+        # Spill everything later regions will need that this region
+        # definitely defines (or received and must forward? forwarding is
+        # unnecessary: a received live-in stays in the spill array).
+        live_later: set[str] = set()
+        for later in range(e, len(statements)):
+            live_later |= reads[later]
+        spills = {
+            var: spill_slots[var]
+            for var in sorted(defined_by_region[index] & live_later)
+            if var in spill_slots
+        }
+        region_kernel = _region_kernel(
+            kernel, statements, reads, defines, s, e, spills,
+            live_in=live_in,
+        )
+        validate_kernel(region_kernel)
+        regions.append(Region(region_kernel, live_in, spills))
+    return RegionProgram(kernel.name, regions, spill_slots)
+
+
+def _live_in(statements, reads, defines, start, end) -> set[str]:
+    """Vars read in [start, end) before being definitely defined there."""
+    live: set[str] = set()
+    defined: set[str] = set()
+    for i in range(start, end):
+        live |= reads[i] - defined
+        defined |= defines[i]
+    return live
+
+
+def _region_kernel(
+    kernel: Kernel,
+    statements,
+    reads,
+    defines,
+    start: int,
+    end: int,
+    spills: dict[str, int],
+    live_in: list[str] | None = None,
+) -> Kernel:
+    body = list(statements[start:end])
+    for var, slot in spills.items():
+        body.append(Store(SPILL_ARRAY, Const(slot), Var(var)))
+    params = list(kernel.params)
+    if live_in:
+        params += [v for v in live_in if v not in params]
+    arrays = list(kernel.arrays)
+    arrays.append(ArraySpec(SPILL_ARRAY, SPILL_WORDS))
+    return Kernel(
+        f"{kernel.name}@r{start}", params, arrays, body
+    )
+
+
+#: Fit margins tried when a region that fits by node count still fails
+#: placement or routing (splitter/PnR negotiation).
+MARGIN_SCHEDULE = (FIT_MARGIN, 0.7, 0.5, 0.35)
+
+
+def compile_region_program(
+    kernel: Kernel,
+    fabric: Fabric,
+    arch: ArchParams,
+    policy: PlacementPolicy = EFFCC,
+    seed: int = 0,
+    parallelism: int | None = None,
+) -> CompiledRegionProgram:
+    """Split and compile every region (each with its own PnR).
+
+    Node counts do not fully predict routability on small fabrics, so the
+    driver retries the split with tighter fit margins when any region's
+    PnR fails; a single-statement region that still fails is a genuine
+    does-not-fit error.
+    """
+    failure: PnRError | None = None
+    for margin in MARGIN_SCHEDULE:
+        program = split_kernel(kernel, fabric, margin=margin)
+        try:
+            compiled = [
+                compile_kernel(
+                    region.kernel,
+                    fabric,
+                    arch,
+                    policy=policy,
+                    parallelism=parallelism,
+                    seed=seed,
+                )
+                for region in program.regions
+            ]
+        except PnRError as error:
+            failure = error
+            continue
+        return CompiledRegionProgram(program, compiled)
+    raise failure if failure is not None else PnRError("unsplittable")

@@ -1,0 +1,59 @@
+"""Compiled-kernel container: everything downstream of PnR needs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.fabric import Fabric
+from repro.core.criticality import CriticalityReport
+from repro.core.policy import PlacementPolicy
+from repro.dfg.graph import DFG
+from repro.pnr.route import RoutingResult
+from repro.pnr.timing import TimingReport
+
+Coord = tuple[int, int]
+
+
+@dataclass
+class CompiledKernel:
+    """A kernel after lowering, analysis, placement, routing and timing."""
+
+    dfg: DFG
+    fabric: Fabric
+    policy: PlacementPolicy
+    criticality: CriticalityReport
+    placement: dict[int, Coord]
+    routing: RoutingResult
+    timing: TimingReport
+    parallelism: int = 1
+    place_cost: float = 0.0
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def clock_divider(self) -> int:
+        return self.timing.clock_divider
+
+    def domain_of(self, nid: int) -> int | None:
+        """NUPEA domain of the PE hosting node ``nid``."""
+        pe = self.fabric.pes[self.placement[nid]]
+        return pe.domain
+
+    def domain_histogram(self) -> dict[str, dict[int, int]]:
+        """Per criticality class, how many memory nodes sit in each domain."""
+        hist: dict[str, dict[int, int]] = {"A": {}, "B": {}, "C": {}}
+        for node in self.dfg.memory_nodes():
+            domain = self.domain_of(node.nid)
+            per = hist[node.criticality]
+            per[domain] = per.get(domain, 0) + 1
+        return hist
+
+    def summary(self) -> str:
+        counts = self.criticality.counts()
+        return (
+            f"{self.dfg.name}: {len(self.dfg)} nodes on "
+            f"{self.fabric.name} (policy={self.policy.name}, "
+            f"parallelism={self.parallelism}); criticality "
+            f"A/B/C = {counts['A']}/{counts['B']}/{counts['C']}; "
+            f"max path hops = {self.timing.max_hops}, "
+            f"divider = {self.timing.clock_divider}"
+        )

@@ -1,0 +1,174 @@
+"""Global routing with congestion negotiation (PathFinder-style).
+
+Each net (one producer, many sinks) is routed as a tree over the data
+NoC's channel graph; sinks of the same net share segments for free.
+Channels have per-segment track capacities; the router iterates with
+growing present-congestion and history penalties until no channel is over
+capacity, or raises :class:`RoutingError` — the signal effcc's parallelism
+search uses to back off (Sec. 5).
+
+The router is channel-model agnostic: it consumes the
+``edges_from``/``capacity`` interface of :mod:`repro.arch.noc`, so the
+same negotiation loop routes the uniform mesh and the heterogeneous
+cardinal/diagonal/skip track graph. Path *lengths* are wire units (a
+two-cell diagonal segment costs two units but one switch), which is what
+static timing consumes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.errors import RoutingError
+from repro.pnr.netlist import Netlist
+from repro.pnr.place import Placement
+
+Coord = tuple[int, int]
+
+
+@dataclass
+class RoutingResult:
+    """Routed trees plus congestion/timing summaries."""
+
+    #: net index -> sink nid -> wire units from the net's source.
+    sink_hops: dict[int, dict[int, float]] = field(default_factory=dict)
+    #: net index -> set of channel keys the net's tree occupies.
+    net_channels: dict[int, set] = field(default_factory=dict)
+    max_hops: float = 0
+    iterations: int = 0
+    total_channel_use: int = 0
+
+    def wirelength(self) -> int:
+        return sum(len(c) for c in self.net_channels.values())
+
+
+def route_design(
+    netlist: Netlist,
+    placement: Placement,
+    channels,
+    max_iters: int = 10,
+) -> RoutingResult:
+    """Route every net within track capacity or raise RoutingError."""
+    usage: dict = {}
+    history: dict = {}
+    routes: dict[int, set] = {}
+    hops: dict[int, dict[int, float]] = {}
+
+    routable = [
+        index
+        for index, net in enumerate(netlist.nets)
+        if any(s != net.src for s in net.sinks)
+    ]
+
+    present_factor = 0.5
+    for iteration in range(1, max_iters + 1):
+        for index in routable:
+            for channel in routes.get(index, ()):
+                usage[channel] -= 1
+            tree_channels, sink_hops = _route_net(
+                netlist, placement, channels, index, usage, history,
+                present_factor,
+            )
+            routes[index] = tree_channels
+            hops[index] = sink_hops
+            for channel in tree_channels:
+                usage[channel] = usage.get(channel, 0) + 1
+        overused = {
+            c: u
+            for c, u in usage.items()
+            if u > channels.capacity(c)
+        }
+        if not overused:
+            result = RoutingResult(
+                sink_hops=hops,
+                net_channels=routes,
+                iterations=iteration,
+                total_channel_use=sum(usage.values()),
+            )
+            result.max_hops = max(
+                (h for per_net in hops.values() for h in per_net.values()),
+                default=0,
+            )
+            return result
+        for channel, use in overused.items():
+            history[channel] = history.get(channel, 0.0) + (
+                use - channels.capacity(channel)
+            )
+        present_factor *= 2.0
+    raise RoutingError(
+        f"unroutable: {len(overused)} channels over capacity after "
+        f"{max_iters} iterations"
+    )
+
+
+def _route_net(
+    netlist: Netlist,
+    placement: Placement,
+    channels,
+    index: int,
+    usage: dict,
+    history: dict,
+    present_factor: float,
+) -> tuple[set, dict[int, float]]:
+    net = netlist.nets[index]
+    src_coord = placement.loc[net.src]
+    tree_channels: set = set()
+    depth: dict[Coord, float] = {src_coord: 0.0}
+    sink_hops: dict[int, float] = {}
+
+    def channel_cost(key, wire: float) -> float:
+        use = usage.get(key, 0)
+        over = max(0, use + 1 - channels.capacity(key))
+        return wire + present_factor * over + history.get(key, 0.0)
+
+    sinks = sorted(
+        (s for s in net.sinks if s != net.src),
+        key=lambda s: abs(placement.loc[s][0] - src_coord[0])
+        + abs(placement.loc[s][1] - src_coord[1]),
+    )
+    for sink in sinks:
+        target = placement.loc[sink]
+        if target in depth:
+            sink_hops[sink] = depth[target]
+            continue
+        came: dict[Coord, tuple[Coord, object, float]] = {}
+        dist: dict[Coord, float] = {c: 0.0 for c in depth}
+        heap = [(0.0, c) for c in depth]
+        heapq.heapify(heap)
+        seen: set[Coord] = set()
+        while heap:
+            d, coord = heapq.heappop(heap)
+            if coord in seen:
+                continue
+            seen.add(coord)
+            if coord == target:
+                break
+            for neighbor, key, wire in channels.edges_from(coord):
+                if neighbor in seen:
+                    continue
+                nd = d + channel_cost(key, wire)
+                if nd < dist.get(neighbor, float("inf")):
+                    dist[neighbor] = nd
+                    came[neighbor] = (coord, key, wire)
+                    heapq.heappush(heap, (nd, neighbor))
+        if target not in seen:
+            raise RoutingError(
+                f"net {index}: no path {src_coord} -> {target}"
+            )
+        # Walk back to the existing tree, claiming channels.
+        path: list[tuple[Coord, object, float]] = []
+        coord = target
+        while coord not in depth:
+            prev, key, wire = came[coord]
+            path.append((coord, key, wire))
+            coord = prev
+        base_depth = depth[coord]
+        wire_sum = 0.0
+        for coord, key, wire in reversed(path):
+            tree_channels.add(key)
+            wire_sum += wire
+            if coord not in depth:
+                depth[coord] = base_depth + wire_sum
+        sink_hops[sink] = depth[target]
+    return tree_channels, sink_hops

@@ -1,0 +1,35 @@
+"""Static timing analysis: longest routed path -> fabric clock divider.
+
+The data NoC is bufferless, so the fabric clock must cover the longest
+routed source-to-sink path of the bitstream (Sec. 4.2). PnR reports the
+maximum path delay (Fig. 17) and the resulting divider, which scales every
+fabric-side latency in the timed simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.clocks import divider_for_max_hops, path_delay_units
+from repro.arch.params import TimingParams
+from repro.pnr.route import RoutingResult
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Result of static timing on a routed design."""
+
+    max_hops: int
+    max_path_delay_units: float
+    clock_divider: int
+
+
+def analyze_timing(
+    routing: RoutingResult, timing: TimingParams
+) -> TimingReport:
+    max_hops = routing.max_hops
+    return TimingReport(
+        max_hops=max_hops,
+        max_path_delay_units=path_delay_units(max_hops, timing),
+        clock_divider=divider_for_max_hops(max_hops, timing),
+    )

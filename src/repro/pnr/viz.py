@@ -1,0 +1,58 @@
+"""ASCII visualization of fabrics and placements.
+
+``fabric_map`` draws the PE grid with NUPEA domains; ``placement_map``
+overlays a compiled kernel, marking where its memory instructions landed
+(criticality class letter) and which PEs host other nodes. The examples
+and the CLI use these to make the "critical loads hug memory" effect
+visible at a glance.
+"""
+
+from __future__ import annotations
+
+from repro.arch.fabric import Fabric
+from repro.pnr.result import CompiledKernel
+
+
+def fabric_map(fabric: Fabric) -> str:
+    """Grid of PE kinds: ``.`` arithmetic, digits = LS PE's domain."""
+    lines = [fabric.describe(), "    (memory is to the right)"]
+    header = "     " + "".join(f"{x % 10}" for x in range(fabric.cols))
+    lines.append(header)
+    for y in range(fabric.rows):
+        row = []
+        for x in range(fabric.cols):
+            pe = fabric.pe_at(x, y)
+            row.append(str(pe.domain) if pe.is_ls else ".")
+        lines.append(f"  {y:2d} " + "".join(row) + " |mem")
+    return "\n".join(lines)
+
+
+def placement_map(compiled: CompiledKernel) -> str:
+    """Grid showing the compiled kernel's node placement.
+
+    ``A``/``B``/``C`` mark memory instructions by criticality class,
+    ``*`` other occupied PEs, ``.``/space free arithmetic/LS PEs.
+    """
+    fabric = compiled.fabric
+    occupied: dict[tuple[int, int], str] = {}
+    for nid, coord in compiled.placement.items():
+        node = compiled.dfg.nodes[nid]
+        occupied[coord] = node.criticality if node.is_memory() else "*"
+    lines = [
+        f"placement of {compiled.dfg.name!r} on {fabric.name} "
+        f"(policy={compiled.policy.name})",
+        "  A/B/C = memory op by criticality, * = other node, "
+        "digits = free LS PE's domain",
+    ]
+    for y in range(fabric.rows):
+        row = []
+        for x in range(fabric.cols):
+            mark = occupied.get((x, y))
+            if mark is None:
+                pe = fabric.pe_at(x, y)
+                mark = str(pe.domain) if pe.is_ls else "."
+            row.append(mark)
+        lines.append(f"  {y:2d} " + "".join(row) + " |mem")
+    hist = compiled.domain_histogram()
+    lines.append(f"  memory nodes per domain: {hist}")
+    return "\n".join(lines)

@@ -1,0 +1,375 @@
+"""Cycle-level simulator of a compiled kernel on an SDA fabric.
+
+The engine advances the *system* clock one cycle at a time; the fabric
+fires on cycles divisible by the clock divider chosen by PnR's static
+timing (ratio-synchronous clocks, Sec. 4.2). Per system cycle:
+
+1. banks serve queued requests and completed accesses travel back over the
+   response network (one cycle per arbitration hop);
+2. the fabric-memory frontend advances — Monaco's arbiter tree, or a
+   UPEA/NUMA fixed-delay pipe;
+3. on a fabric tick, PEs emit arrived memory responses and fire ready
+   nodes; tokens land in consumer FIFOs at the next tick (the bufferless
+   data NoC crosses any routed path within one fabric clock).
+
+Ordered dataflow discipline: every input port has a bounded token FIFO
+(backpressure stalls the producer); each PE fires its single instruction
+at most once per fabric cycle; loads may pipeline up to ``max_outstanding``
+requests but always deliver responses in issue order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+
+from repro.arch.memory import AddressMap
+from repro.arch.params import ArchParams
+from repro.dfg.graph import DFG, PortRef
+from repro.dfg.ops import NO_EMIT, FifoLike, decide, fresh_state
+from repro.errors import DeadlockError, SimulationError
+from repro.pnr.result import CompiledKernel
+from repro.sim.fmnoc_sim import MonacoFrontend
+from repro.sim.memsys import MemorySystem, RequestRecord
+from repro.sim.stats import SimStats
+
+
+class _Fifos(FifoLike):
+    def __init__(self, dfg: DFG):
+        self.queues: dict[tuple[int, int], deque] = {}
+        for node in dfg.nodes.values():
+            for index, inp in enumerate(node.inputs):
+                if isinstance(inp, PortRef):
+                    self.queues[(node.nid, index)] = deque()
+
+    def has(self, node, index):
+        return bool(self.queues[(node.nid, index)])
+
+    def peek(self, node, index):
+        return self.queues[(node.nid, index)][0]
+
+
+class SimResult:
+    """Final memory state plus statistics for one run."""
+
+    def __init__(self, memory: dict[str, list], stats: SimStats):
+        self.memory = memory
+        self.stats = stats
+
+
+def default_frontend(fabric, address_map):
+    return MonacoFrontend(fabric)
+
+
+def simulate(
+    compiled: CompiledKernel,
+    params: dict[str, int | float] | None = None,
+    arrays: dict[str, list] | None = None,
+    arch: ArchParams | None = None,
+    frontend_factory=default_frontend,
+    divider: int | None = None,
+) -> SimResult:
+    """Run ``compiled`` to quiescence and return memory + stats."""
+    arch = arch or ArchParams()
+    params = dict(params or {})
+    dfg = compiled.dfg
+    divider = divider or compiled.timing.clock_divider
+
+    memory: dict[str, list] = {}
+    for name, size in dfg.arrays.items():
+        if arrays and name in arrays:
+            data = list(arrays[name])
+            if len(data) != size:
+                raise SimulationError(
+                    f"array {name!r}: got {len(data)} words, declared {size}"
+                )
+        else:
+            zero = 0 if dfg.array_dtypes.get(name, "i") == "i" else 0.0
+            data = [zero] * size
+        memory[name] = data
+
+    address_map = AddressMap(dfg.arrays, arch.memory)
+    memsys = MemorySystem(arch.memory, address_map, memory)
+    frontend = frontend_factory(compiled.fabric, address_map)
+    engine = _Engine(
+        compiled, params, arch, divider, memsys, frontend, address_map
+    )
+    stats = engine.run()
+    stats.frontend = getattr(frontend, "name", type(frontend).__name__)
+    return SimResult(memory, stats)
+
+
+class _Engine:
+    def __init__(
+        self, compiled, params, arch, divider, memsys, frontend, address_map
+    ):
+        self.compiled = compiled
+        self.dfg: DFG = compiled.dfg
+        self.params = params
+        self.arch = arch
+        self.divider = divider
+        self.memsys = memsys
+        self.frontend = frontend
+        self.address_map = address_map
+
+        self.capacity = arch.sim.fifo_capacity
+        self.max_outstanding = arch.sim.max_outstanding
+        self.fifos = _Fifos(self.dfg)
+        self.states = {
+            nid: fresh_state(node) for nid, node in self.dfg.nodes.items()
+        }
+        self.consumers = self.dfg.consumers()
+        self.producer_of: dict[tuple[int, int], int] = {}
+        for node in self.dfg.nodes.values():
+            for index, inp in enumerate(node.inputs):
+                if isinstance(inp, PortRef):
+                    self.producer_of[(node.nid, index)] = inp.src
+        self.resp_queue: dict[int, deque] = {
+            n.nid: deque() for n in self.dfg.memory_nodes()
+        }
+        # Hops per (producer, consumer) edge from the routed design, for
+        # data-movement energy accounting. Falls back to Manhattan
+        # distance for edges the router did not record.
+        self.edge_hops: dict[tuple[int, int], int] = {}
+        self._init_edge_hops()
+        self.domain_of = {
+            n.nid: compiled.domain_of(n.nid) for n in self.dfg.memory_nodes()
+        }
+        self.active: set[int] = set(self.dfg.nodes)
+        self.emit_candidates: set[int] = set()
+        self.arrivals: list[tuple[int, int, RequestRecord]] = []
+        self._arrival_order = 0
+        self._seq = 0
+        self.tokens = 0
+        self.mem_inflight = 0
+        self.stats = SimStats(clock_divider=divider)
+
+    def _init_edge_hops(self) -> None:
+        from repro.pnr.netlist import build_netlist
+
+        netlist = build_netlist(self.dfg)
+        routed: dict[tuple[int, int], int] = {}
+        for index, net in enumerate(netlist.nets):
+            hops = self.compiled.routing.sink_hops.get(index, {})
+            for sink, count in hops.items():
+                routed[(net.src, sink)] = count
+        placement = self.compiled.placement
+        for producer, consumers in self.consumers.items():
+            for consumer, _ in consumers:
+                key = (producer, consumer)
+                if key in self.edge_hops:
+                    continue
+                if key in routed:
+                    self.edge_hops[key] = routed[key]
+                else:
+                    (ax, ay), (bx, by) = placement[producer], placement[
+                        consumer
+                    ]
+                    self.edge_hops[key] = abs(ax - bx) + abs(ay - by)
+
+    # -- helpers ---------------------------------------------------------
+
+    def can_emit(self, nid: int) -> bool:
+        for consumer, index in self.consumers[nid]:
+            if len(self.fifos.queues[(consumer, index)]) >= self.capacity:
+                return False
+        return True
+
+    def push_output(self, nid: int, value, pushes: list) -> None:
+        pushes.append((nid, value))
+
+    def commit_pushes(self, pushes: list) -> None:
+        for nid, value in pushes:
+            for consumer, index in self.consumers[nid]:
+                self.fifos.queues[(consumer, index)].append(value)
+                self.tokens += 1
+                self.stats.noc_hops += self.edge_hops[(nid, consumer)]
+                self.active.add(consumer)
+
+    # -- main loop ---------------------------------------------------------
+
+    def run(self) -> SimStats:
+        now = 0
+        last_event = 0
+        max_cycles = self.arch.sim.max_cycles
+        deadlock_after = self.arch.sim.deadlock_cycles
+        while True:
+            progressed = False
+            self.memsys.tick(now)
+            for record in self.memsys.completions(now):
+                self._arrival_order += 1
+                heapq.heappush(
+                    self.arrivals,
+                    (
+                        record.complete_cycle + record.response_hops,
+                        self._arrival_order,
+                        record,
+                    ),
+                )
+                progressed = True
+            while self.arrivals and self.arrivals[0][0] <= now:
+                record = heapq.heappop(self.arrivals)[2]
+                record.arrived_cycle = now
+                self.emit_candidates.add(record.nid)
+                progressed = True
+            self.frontend.tick(
+                now, lambda rec: self.memsys.enqueue(rec, now)
+            )
+            if now % self.divider == 0:
+                if self._fabric_tick(now):
+                    progressed = True
+            if progressed:
+                last_event = now
+            if self._finished(now):
+                break
+            if now - last_event > deadlock_after:
+                self._raise_deadlock(now)
+            if now > max_cycles:
+                raise SimulationError("simulation exceeded max_cycles")
+            now += 1
+        self.stats.system_cycles = now
+        self.stats.mem = self.memsys.stats
+        self._check_final_state()
+        return self.stats
+
+    def _finished(self, now: int) -> bool:
+        if now == 0:
+            return False
+        return (
+            self.tokens == 0
+            and self.mem_inflight == 0
+            and not self.arrivals
+            and not self.frontend.busy()
+            and not self.memsys.busy()
+            and not self._any_ready()
+        )
+
+    def _any_ready(self) -> bool:
+        # With zero tokens in flight, only a source that has not fired yet
+        # could still act.
+        for nid in self.active:
+            node = self.dfg.nodes[nid]
+            if node.op == "source" and not self.states[nid]["fired"]:
+                return True
+        return False
+
+    # -- fabric ------------------------------------------------------------
+
+    def _fabric_tick(self, now: int) -> bool:
+        pushes: list = []
+        progressed = False
+        if self.emit_candidates:
+            progressed |= self._emit_responses(now, pushes)
+        progressed |= self._fire_nodes(now, pushes)
+        if pushes:
+            self.commit_pushes(pushes)
+            progressed = True
+        return progressed
+
+    def _emit_responses(self, now: int, pushes: list) -> bool:
+        progressed = False
+        for nid in sorted(self.emit_candidates):
+            queue = self.resp_queue[nid]
+            record = queue[0] if queue else None
+            if record is None or record.arrived_cycle is None:
+                self.emit_candidates.discard(nid)
+                continue
+            if not self.can_emit(nid):
+                continue  # retry next fabric tick
+            queue.popleft()
+            self.mem_inflight -= 1
+            self.push_output(nid, record.value, pushes)
+            self.stats.fmnoc_hops += 2 * record.response_hops
+            node = self.dfg.nodes[nid]
+            latency = record.arrived_cycle - record.issue_cycle
+            if record.request.kind == "load":
+                self.stats.record_load(
+                    node.criticality, self.domain_of[nid], latency
+                )
+            # The PE may issue again now that a slot freed up.
+            self.active.add(nid)
+            if not queue or queue[0].arrived_cycle is None:
+                self.emit_candidates.discard(nid)
+            progressed = True
+        return progressed
+
+    def _fire_nodes(self, now: int, pushes: list) -> bool:
+        progressed = False
+        for nid in sorted(self.active):
+            node = self.dfg.nodes[nid]
+            decision = decide(
+                node, self.states[nid], self.fifos, self.params
+            )
+            if decision is None:
+                self.active.discard(nid)
+                continue
+            if decision.mem is not None:
+                if len(self.resp_queue[nid]) >= self.max_outstanding:
+                    self.active.discard(nid)
+                    continue
+            elif decision.emit is not NO_EMIT and not self.can_emit(nid):
+                self.active.discard(nid)
+                continue
+            # Commit the firing.
+            for index in decision.pops:
+                queue = self.fifos.queues[(nid, index)]
+                was_full = len(queue) >= self.capacity
+                queue.popleft()
+                self.tokens -= 1
+                if was_full:
+                    self.active.add(self.producer_of[(nid, index)])
+            if decision.state is not None:
+                self.states[nid].update(decision.state)
+            if decision.mem is not None:
+                self._issue_memory(nid, decision.mem, now)
+            elif decision.emit is not NO_EMIT:
+                self.push_output(nid, decision.emit, pushes)
+            self.stats.firings[node.op] = (
+                self.stats.firings.get(node.op, 0) + 1
+            )
+            progressed = True
+            # The node may be ready again next tick; keep it active.
+        return progressed
+
+    def _issue_memory(self, nid: int, request, now: int) -> None:
+        self._seq += 1
+        record = RequestRecord(
+            nid=nid,
+            seq=self._seq,
+            request=request,
+            address=self.address_map.address(request.array, request.index),
+            pe_coord=self.compiled.placement[nid],
+            issue_cycle=now,
+        )
+        self.resp_queue[nid].append(record)
+        self.mem_inflight += 1
+        self.frontend.inject(record, now)
+
+    # -- diagnostics ---------------------------------------------------
+
+    def _raise_deadlock(self, now: int) -> None:
+        stuck = []
+        for (nid, index), queue in self.fifos.queues.items():
+            if queue:
+                node = self.dfg.nodes[nid]
+                stuck.append(
+                    f"node {nid} ({node.op} {node.tag!r}) port "
+                    f"{node.port_name(index)}: {len(queue)} token(s)"
+                )
+        raise DeadlockError(
+            f"no progress since cycle {now - self.arch.sim.deadlock_cycles}"
+            f"; {self.tokens} tokens stranded, {self.mem_inflight} memory "
+            f"ops in flight. Stuck FIFOs:\n  " + "\n  ".join(stuck[:20])
+        )
+
+    def _check_final_state(self) -> None:
+        for nid, state in self.states.items():
+            node = self.dfg.nodes[nid]
+            if node.op == "carry" and state["phase"] != "init":
+                raise SimulationError(
+                    f"carry node {nid} ({node.tag!r}) finished in RUN phase"
+                )
+            if node.op == "invariant" and state["held"]:
+                raise SimulationError(
+                    f"invariant node {nid} ({node.tag!r}) finished held"
+                )

@@ -1,0 +1,130 @@
+"""Timed model of Monaco's fabric-memory NoC (paper Fig. 9).
+
+Requests from LS PEs flow through the row's arbiter chain toward memory:
+one system cycle per arbitration stage, round-robin selection, single
+request forwarded per arbiter per cycle. D0 PEs bypass the network to
+their direct ports; each row's *shared* port round-robins between its D0
+PE and the row's D1 arbiter (the "combinationally arbitrated" third port).
+Responses return over a mirrored network modeled as a pure pipeline delay
+of one cycle per stage (``response_hops``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.arch.fabric import Fabric
+from repro.arch.fmnoc import ArbiterId, FMNoC
+from repro.errors import SimulationError
+from repro.sim.memsys import RequestRecord
+
+
+class _Arbiter:
+    """One arbitration stage: RR over inputs, single-entry output latch."""
+
+    def __init__(self, arb_id: ArbiterId, sources: list):
+        self.arb_id = arb_id
+        self.sources = sources  # PE coords and/or upstream ArbiterId
+        self.rr = 0
+        self.latch: RequestRecord | None = None
+        self.stall_cycles = 0
+
+
+class MonacoFrontend:
+    """Request-side fabric-memory NoC for the Monaco topology."""
+
+    name = "monaco"
+
+    def __init__(self, fabric: Fabric):
+        self.fabric = fabric
+        self.noc = FMNoC(fabric)
+        #: Injection queue per LS PE coordinate.
+        self.pe_queues: dict[tuple[int, int], deque] = {
+            pe.coord: deque() for pe in fabric.ls_pes()
+        }
+        self.arbiters: dict[ArbiterId, _Arbiter] = {}
+        for arb_id in self.noc.arbiters():
+            sources = [
+                s.coord if hasattr(s, "coord") else s
+                for s in self.noc.arbiter_inputs(arb_id)
+            ]
+            self.arbiters[arb_id] = _Arbiter(arb_id, sources)
+        #: port id -> list of sources (PE coords and/or ArbiterId).
+        self.port_sources: dict[int, list] = {}
+        self.port_rr: dict[int, int] = {}
+        shared = set(fabric.row_shared_port.values())
+        for pe in fabric.ls_pes():
+            if pe.direct_port is not None:
+                self.port_sources.setdefault(pe.direct_port, []).append(
+                    pe.coord
+                )
+        for row, port in fabric.row_shared_port.items():
+            if port not in shared:
+                continue
+            arb = ArbiterId(row, 1)
+            if arb in self.arbiters:
+                self.port_sources.setdefault(port, []).append(arb)
+        for port in self.port_sources:
+            self.port_rr[port] = 0
+        self.in_network = 0
+
+    # -- Frontend interface ------------------------------------------------
+
+    def inject(self, record: RequestRecord, now: int) -> None:
+        pe = self.fabric.pes[record.pe_coord]
+        if not pe.is_ls:
+            raise SimulationError(
+                f"memory request from non-LS PE {record.pe_coord}"
+            )
+        record.response_hops = self.noc.request_hops(pe)
+        self.pe_queues[record.pe_coord].append(record)
+        self.in_network += 1
+
+    def tick(self, now: int, deliver) -> None:
+        """Advance one system cycle; ``deliver(record)`` hands to memory."""
+        # 1. Ports consume (one request per port per cycle).
+        for port in sorted(self.port_sources):
+            sources = self.port_sources[port]
+            start = self.port_rr[port]
+            for offset in range(len(sources)):
+                source = sources[(start + offset) % len(sources)]
+                record = self._take(source)
+                if record is not None:
+                    self.port_rr[port] = (start + offset + 1) % len(sources)
+                    self.in_network -= 1
+                    deliver(record)
+                    break
+        # 2. Arbiters refill their latches, nearest-to-memory domain first
+        #    so a request advances at most one stage per cycle.
+        for arb_id in sorted(
+            self.arbiters, key=lambda a: (a.domain, a.row)
+        ):
+            arbiter = self.arbiters[arb_id]
+            if arbiter.latch is not None:
+                arbiter.stall_cycles += 1
+                continue
+            start = arbiter.rr
+            for offset in range(len(arbiter.sources)):
+                source = arbiter.sources[(start + offset) % len(arbiter.sources)]
+                record = self._take(source)
+                if record is not None:
+                    arbiter.rr = (start + offset + 1) % len(arbiter.sources)
+                    arbiter.latch = record
+                    break
+
+    def _take(self, source) -> RequestRecord | None:
+        """Pull one request from a PE queue or an arbiter latch."""
+        if isinstance(source, ArbiterId):
+            arbiter = self.arbiters[source]
+            record = arbiter.latch
+            arbiter.latch = None
+            return record
+        queue = self.pe_queues[source]
+        if queue:
+            return queue.popleft()
+        return None
+
+    def busy(self) -> bool:
+        if any(self.pe_queues.values()):
+            return True
+        return any(a.latch is not None for a in self.arbiters.values())

@@ -1,0 +1,76 @@
+"""NUMA + NUPEA hybrid interconnect (the paper's Sec. 3 extension).
+
+"NUPEA is complementary to prior data-centric approaches ... One could
+design SDAs with non-uniformity in both memory and PE access to further
+scale data movement." This frontend explores that design point: requests
+still traverse Monaco's per-row arbiter hierarchy (NUPEA), but the banks
+behind the ports are partitioned into NUMA regions tied to LS-row groups;
+a request leaving its local region pays an extra crossing delay.
+
+Unlike the NUMA-UPEA baseline's random PE-to-domain assignment, the hybrid
+assignment is *spatial*: consecutive LS rows share a region, matching how
+a physical design would place bank groups beside row groups.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.arch.fabric import Fabric
+from repro.arch.memory import AddressMap
+from repro.sim.fmnoc_sim import MonacoFrontend
+from repro.sim.memsys import RequestRecord
+
+
+class HybridFrontend(MonacoFrontend):
+    """Monaco's FM-NoC with NUMA-partitioned memory behind the ports."""
+
+    name = "monaco-numa"
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        address_map: AddressMap,
+        n_regions: int = 4,
+        remote_cycles: int = 2,
+    ):
+        super().__init__(fabric)
+        self.address_map = address_map
+        self.n_regions = n_regions
+        self.remote_cycles = remote_cycles
+        rows = fabric.ls_rows()
+        self.row_region = {
+            row: index * n_regions // len(rows)
+            for index, row in enumerate(rows)
+        }
+        self._stage: list[tuple[int, int, RequestRecord]] = []
+        self._order = 0
+        self.local_accesses = 0
+        self.remote_accesses = 0
+
+    def region_of_address(self, address: int) -> int:
+        return self.address_map.line(address) % self.n_regions
+
+    def tick(self, now: int, deliver) -> None:
+        def stage(record: RequestRecord) -> None:
+            local = self.row_region[record.pe_coord[1]] == (
+                self.region_of_address(record.address)
+            )
+            if local:
+                self.local_accesses += 1
+                deliver(record)
+            else:
+                self.remote_accesses += 1
+                record.response_hops += self.remote_cycles
+                self._order += 1
+                heapq.heappush(
+                    self._stage,
+                    (now + self.remote_cycles, self._order, record),
+                )
+
+        while self._stage and self._stage[0][0] <= now:
+            deliver(heapq.heappop(self._stage)[2])
+        super().tick(now, stage)
+
+    def busy(self) -> bool:
+        return bool(self._stage) or super().busy()

@@ -1,0 +1,157 @@
+"""Banked memory with a shared memory-side cache (paper Sec. 4/6).
+
+Monaco's memory is banked 32x behind a shared data cache: a cache hit
+takes 2 system cycles, main memory 4 more. Banks interleave at line
+granularity and each accepts one request per system cycle; queueing at a
+bank is the bank-conflict effect. The cache is a shared, memory-side LRU
+of whole lines (loads and stores both allocate). Data values are read and
+written at bank-service time, which is consistent with the DFG's
+memory-ordering tokens (a dependent access cannot even be *issued* before
+its predecessor's response).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+
+from repro.arch.memory import AddressMap
+from repro.arch.params import MemoryParams
+from repro.dfg.ops import MemRequest
+from repro.errors import SimulationError
+
+
+@dataclass
+class RequestRecord:
+    """One in-flight memory access."""
+
+    nid: int
+    seq: int
+    request: MemRequest
+    address: int
+    pe_coord: tuple[int, int]
+    issue_cycle: int
+    #: System cycles of response-network delay back to the PE.
+    response_hops: int = 0
+    serve_cycle: int = -1
+    complete_cycle: int = -1
+    #: System cycle the response reached the PE (None while in flight).
+    arrived_cycle: int | None = None
+    value: int | float | None = None
+    hit: bool | None = None
+
+
+@dataclass
+class MemStats:
+    loads: int = 0
+    stores: int = 0
+    hits: int = 0
+    misses: int = 0
+    bank_wait_cycles: int = 0
+    latency_total: int = 0
+
+    def record_service(self, record: RequestRecord, enqueued: int) -> None:
+        if record.request.kind == "load":
+            self.loads += 1
+        else:
+            self.stores += 1
+        if record.hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+        self.bank_wait_cycles += record.serve_cycle - enqueued
+
+
+class SharedCache:
+    """Shared memory-side LRU cache of whole lines."""
+
+    def __init__(self, capacity_lines: int):
+        self.capacity = capacity_lines
+        self.lines: OrderedDict[int, None] = OrderedDict()
+
+    def access(self, line: int) -> bool:
+        """Touch ``line``; returns True on hit (allocates on miss)."""
+        if self.capacity <= 0:
+            return False
+        if line in self.lines:
+            self.lines.move_to_end(line)
+            return True
+        self.lines[line] = None
+        if len(self.lines) > self.capacity:
+            self.lines.popitem(last=False)
+        return False
+
+
+class MemorySystem:
+    """Banks + shared cache + backing data for one simulation."""
+
+    def __init__(
+        self,
+        params: MemoryParams,
+        address_map: AddressMap,
+        data: dict[str, list],
+    ):
+        self.params = params
+        self.address_map = address_map
+        self.data = data
+        self.cache = SharedCache(params.cache_lines)
+        self.bank_queues: list[deque] = [
+            deque() for _ in range(params.n_banks)
+        ]
+        self._enqueue_cycle: dict[int, int] = {}
+        self._completions: list[tuple[int, int, RequestRecord]] = []
+        self._order = 0
+        self.stats = MemStats()
+
+    def enqueue(self, record: RequestRecord, now: int) -> None:
+        """A request arrives at its bank's queue."""
+        bank = self.address_map.bank(record.address)
+        self.bank_queues[bank].append(record)
+        self._enqueue_cycle[id(record)] = now
+
+    def tick(self, now: int) -> None:
+        """Serve up to ``bank_throughput`` requests per bank this cycle."""
+        for queue in self.bank_queues:
+            for _ in range(self.params.bank_throughput):
+                if not queue:
+                    break
+                record = queue.popleft()
+                self._serve(record, now)
+
+    def _serve(self, record: RequestRecord, now: int) -> None:
+        request = record.request
+        line = self.address_map.line(record.address)
+        record.hit = self.cache.access(line)
+        latency = (
+            self.params.hit_cycles
+            if record.hit
+            else self.params.miss_latency()
+        )
+        record.serve_cycle = now
+        array = self.data[request.array]
+        if not 0 <= request.index < len(array):
+            raise SimulationError(
+                f"node {record.nid}: index {request.index} out of bounds "
+                f"for array {request.array!r}"
+            )
+        if request.kind == "load":
+            record.value = array[request.index]
+        else:
+            array[request.index] = request.value
+            record.value = 0
+        record.complete_cycle = now + latency
+        enqueued = self._enqueue_cycle.pop(id(record))
+        self.stats.record_service(record, enqueued)
+        self._order += 1
+        heapq.heappush(
+            self._completions, (record.complete_cycle, self._order, record)
+        )
+
+    def completions(self, now: int):
+        """Yield records whose bank access completes at or before ``now``."""
+        while self._completions and self._completions[0][0] <= now:
+            yield heapq.heappop(self._completions)[2]
+
+    def busy(self) -> bool:
+        return bool(self._completions) or any(self.bank_queues)

@@ -1,0 +1,86 @@
+"""Execution of multi-region (multi-bitstream) programs.
+
+Regions run sequentially: the host launches a bitstream, waits for
+quiescence, reads back any spilled scalars from the ``__spill`` area,
+reconfigures the fabric (a fixed cycle cost per bitstream load), and
+launches the next region with the spilled values bound as parameters.
+Memory persists across launches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.params import ArchParams
+from repro.pnr.regions import SPILL_ARRAY, CompiledRegionProgram
+from repro.sim.engine import default_frontend, simulate
+from repro.sim.stats import SimStats
+
+#: System cycles charged per bitstream load (fabric reconfiguration).
+DEFAULT_RECONFIG_CYCLES = 256
+
+
+@dataclass
+class RegionRunResult:
+    """Aggregate result of a multi-region run."""
+
+    memory: dict[str, list]
+    total_cycles: int
+    region_cycles: list[int] = field(default_factory=list)
+    region_stats: list[SimStats] = field(default_factory=list)
+    reconfig_cycles: int = DEFAULT_RECONFIG_CYCLES
+
+    @property
+    def regions(self) -> int:
+        return len(self.region_cycles)
+
+
+def simulate_regions(
+    compiled: CompiledRegionProgram,
+    params: dict[str, int | float] | None = None,
+    arrays: dict[str, list] | None = None,
+    arch: ArchParams | None = None,
+    frontend_factory=default_frontend,
+    divider: int | None = None,
+    reconfig_cycles: int = DEFAULT_RECONFIG_CYCLES,
+) -> RegionRunResult:
+    """Run every region in order, carrying memory and spilled scalars."""
+    arch = arch or ArchParams()
+    params = dict(params or {})
+    memory: dict[str, list] = dict(arrays or {})
+    result = RegionRunResult(
+        memory={}, total_cycles=0, reconfig_cycles=reconfig_cycles
+    )
+    for index, (region, compiled_kernel) in enumerate(
+        zip(compiled.program.regions, compiled.compiled)
+    ):
+        launch_params = dict(params)
+        spill = memory.get(SPILL_ARRAY)
+        for var in region.live_in:
+            slot = compiled.program.spill_slots[var]
+            if spill is None:
+                raise RuntimeError(
+                    f"region {index} expects spilled scalar {var!r} but "
+                    "no spill data exists"
+                )
+            launch_params[var] = spill[slot]
+        run = simulate(
+            compiled_kernel,
+            launch_params,
+            {
+                name: memory[name]
+                for name in compiled_kernel.dfg.arrays
+                if name in memory
+            },
+            arch,
+            frontend_factory=frontend_factory,
+            divider=divider,
+        )
+        memory.update(run.memory)
+        result.region_cycles.append(run.stats.system_cycles)
+        result.region_stats.append(run.stats)
+        result.total_cycles += run.stats.system_cycles
+        if index + 1 < len(compiled.compiled):
+            result.total_cycles += reconfig_cycles
+    result.memory = memory
+    return result

@@ -1,0 +1,91 @@
+"""Simulation statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.memsys import MemStats
+
+
+@dataclass
+class LatencyAccumulator:
+    """Streaming mean of memory latencies."""
+
+    count: int = 0
+    total: int = 0
+
+    def add(self, latency: int) -> None:
+        self.count += 1
+        self.total += latency
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+@dataclass
+class SimStats:
+    """What one timed run measured."""
+
+    system_cycles: int = 0
+    clock_divider: int = 1
+    firings: dict[str, int] = field(default_factory=dict)
+    #: Load latency (issue -> response arrival, system cycles) per
+    #: criticality class.
+    load_latency: dict[str, LatencyAccumulator] = field(
+        default_factory=lambda: {
+            "A": LatencyAccumulator(),
+            "B": LatencyAccumulator(),
+            "C": LatencyAccumulator(),
+        }
+    )
+    #: Load latency per NUPEA domain (Monaco runs only).
+    domain_latency: dict[int, LatencyAccumulator] = field(
+        default_factory=dict
+    )
+    mem: MemStats = field(default_factory=MemStats)
+    frontend: str = ""
+    #: Routed data-NoC channel hops crossed by tokens during the run.
+    noc_hops: int = 0
+    #: Fabric-memory NoC arbitration stages traversed (request + response).
+    fmnoc_hops: int = 0
+
+    @property
+    def fabric_cycles(self) -> int:
+        return self.system_cycles // self.clock_divider
+
+    @property
+    def total_firings(self) -> int:
+        return sum(self.firings.values())
+
+    @property
+    def ipc(self) -> float:
+        """Instructions fired per fabric cycle."""
+        cycles = self.fabric_cycles
+        return self.total_firings / cycles if cycles else 0.0
+
+    def record_load(
+        self, criticality: str, domain: int | None, latency: int
+    ) -> None:
+        self.load_latency[criticality].add(latency)
+        if domain is not None:
+            self.domain_latency.setdefault(
+                domain, LatencyAccumulator()
+            ).add(latency)
+
+    def summary(self) -> str:
+        parts = [
+            f"{self.system_cycles} system cycles "
+            f"(divider {self.clock_divider}, {self.fabric_cycles} fabric)",
+            f"{self.total_firings} firings (IPC {self.ipc:.2f})",
+            f"{self.mem.loads} loads / {self.mem.stores} stores "
+            f"({self.mem.hits} hits, {self.mem.misses} misses)",
+        ]
+        lat = ", ".join(
+            f"{klass}:{acc.mean:.1f}"
+            for klass, acc in self.load_latency.items()
+            if acc.count
+        )
+        if lat:
+            parts.append(f"mean load latency by class [{lat}]")
+        return "; ".join(parts)

@@ -1,0 +1,92 @@
+"""Baseline fabric-memory interconnects: UPEA and NUMA-UPEA (Sec. 6).
+
+* :class:`UniformFrontend` — uniform PE access: every memory request pays
+  a fixed delay of N *fabric* cycles before reaching its bank, with no
+  port or arbiter contention ("the baselines model only the delay from
+  UPEA and do not explicitly arbitrate memory requests to memory ports",
+  so they enjoy higher available bandwidth than Monaco). ``N = 0`` is the
+  paper's **Ideal** configuration.
+* :class:`NumaFrontend` — UPEA plus NUMA memory: LS PEs are randomly
+  assigned to ``n_domains`` NUMA domains and the address space is
+  interleaved across domains at cache-line granularity; an access to the
+  local domain bypasses the UPEA delay entirely (so local accesses may
+  overtake older remote ones, exactly as in a real NUMA interconnect).
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+
+from repro.arch.fabric import Fabric
+from repro.arch.memory import AddressMap
+from repro.sim.memsys import RequestRecord
+
+
+class UniformFrontend:
+    """Fixed-delay, contention-free fabric-memory interconnect."""
+
+    name = "upea"
+
+    def __init__(self, delay_system_cycles: int):
+        if delay_system_cycles < 0:
+            raise ValueError("delay must be non-negative")
+        self.delay = delay_system_cycles
+        self._pipe: list[tuple[int, int, RequestRecord]] = []
+        self._order = 0
+
+    def _schedule(self, record: RequestRecord, ready: int) -> None:
+        self._order += 1
+        heapq.heappush(self._pipe, (ready, self._order, record))
+
+    def inject(self, record: RequestRecord, now: int) -> None:
+        record.response_hops = 0
+        self._schedule(record, now + self.delay)
+
+    def tick(self, now: int, deliver) -> None:
+        while self._pipe and self._pipe[0][0] <= now:
+            deliver(heapq.heappop(self._pipe)[2])
+
+    def busy(self) -> bool:
+        return bool(self._pipe)
+
+
+class NumaFrontend(UniformFrontend):
+    """UPEA with NUMA domains: local accesses skip the uniform delay."""
+
+    name = "numa-upea"
+
+    def __init__(
+        self,
+        delay_system_cycles: int,
+        fabric: Fabric,
+        address_map: AddressMap,
+        n_domains: int = 4,
+        seed: int = 0,
+    ):
+        super().__init__(delay_system_cycles)
+        self.n_domains = n_domains
+        self.address_map = address_map
+        rng = random.Random(seed)
+        #: Random LS PE -> NUMA domain assignment (paper Sec. 6).
+        self.pe_domain = {
+            pe.coord: rng.randrange(n_domains)
+            for pe in sorted(fabric.ls_pes(), key=lambda p: (p.y, p.x))
+        }
+        self.local_accesses = 0
+        self.remote_accesses = 0
+
+    def domain_of_address(self, address: int) -> int:
+        return self.address_map.line(address) % self.n_domains
+
+    def inject(self, record: RequestRecord, now: int) -> None:
+        record.response_hops = 0
+        local = self.pe_domain[record.pe_coord] == self.domain_of_address(
+            record.address
+        )
+        if local:
+            self.local_accesses += 1
+            self._schedule(record, now)
+        else:
+            self.remote_accesses += 1
+            self._schedule(record, now + self.delay)

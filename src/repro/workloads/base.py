@@ -1,0 +1,61 @@
+"""Common workload container and scale definitions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.ir.ast import Kernel
+
+#: Input scales. ``tiny`` keeps unit tests fast; ``small`` drives the
+#: benchmark harness; ``paper`` records the Table 1 sizes (instantiable,
+#: but impractical to simulate cycle-by-cycle in Python — see
+#: EXPERIMENTS.md for the scaling rationale).
+SCALES = ("tiny", "small", "paper")
+
+
+@dataclass
+class WorkloadInstance:
+    """A kernel plus concrete inputs and its reference output."""
+
+    name: str
+    kernel: Kernel
+    params: dict[str, int | float]
+    arrays: dict[str, list]
+    #: Names of output arrays to validate.
+    outputs: list[str]
+    #: Expected final contents of each output array.
+    reference: dict[str, list]
+    #: Absolute tolerance for float outputs (0 = exact integer match).
+    tolerance: float = 0.0
+    #: Free-form metadata (Table 1 description, category, sizes).
+    meta: dict = field(default_factory=dict)
+
+    def check(self, memory: dict[str, list]) -> None:
+        """Raise if ``memory`` disagrees with the reference outputs."""
+        for name in self.outputs:
+            got = memory[name]
+            want = self.reference[name]
+            if len(got) != len(want):
+                raise ReproError(
+                    f"{self.name}: output {name!r} length {len(got)} != "
+                    f"{len(want)}"
+                )
+            for i, (g, w) in enumerate(zip(got, want)):
+                if self.tolerance:
+                    if abs(g - w) > self.tolerance:
+                        raise ReproError(
+                            f"{self.name}: {name}[{i}] = {g} != {w} "
+                            f"(tol {self.tolerance})"
+                        )
+                elif g != w:
+                    raise ReproError(
+                        f"{self.name}: {name}[{i}] = {g} != {w}"
+                    )
+
+
+def require_scale(scale: str) -> None:
+    if scale not in SCALES:
+        raise ReproError(
+            f"unknown scale {scale!r}; expected one of {SCALES}"
+        )

@@ -1,0 +1,139 @@
+"""Deterministic input generators for the Table 1 workloads.
+
+All generators are seeded and produce plain Python lists (the simulator's
+memory is word-granular). Sparse structures use the formats the paper's
+kernels consume: CSR (``pos``/``crd``/``val``) with sorted coordinates,
+and sorted-coordinate sparse vectors.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.errors import ReproError
+
+
+def random_ints(count: int, seed: int, lo: int = -8, hi: int = 8) -> list[int]:
+    rng = random.Random(seed)
+    return [rng.randint(lo, hi) for _ in range(count)]
+
+
+def random_floats(
+    count: int, seed: int, lo: float = -1.0, hi: float = 1.0
+) -> list[float]:
+    rng = random.Random(seed)
+    return [rng.uniform(lo, hi) for _ in range(count)]
+
+
+def random_csr(
+    nrows: int,
+    ncols: int,
+    density: float,
+    seed: int,
+    lo: int = 1,
+    hi: int = 8,
+) -> tuple[list[int], list[int], list[int]]:
+    """A random CSR matrix with sorted column coordinates per row."""
+    if not 0.0 <= density <= 1.0:
+        raise ReproError(f"bad density {density}")
+    rng = random.Random(seed)
+    pos = [0]
+    crd: list[int] = []
+    val: list[int] = []
+    per_row = max(0, round(density * ncols))
+    for _ in range(nrows):
+        count = min(ncols, max(0, per_row + rng.randint(-1, 1)))
+        cols = sorted(rng.sample(range(ncols), count)) if count else []
+        crd.extend(cols)
+        val.extend(rng.randint(lo, hi) for _ in cols)
+        pos.append(len(crd))
+    return pos, crd, val
+
+
+def random_sparse_vector(
+    length: int, density: float, seed: int, lo: int = 1, hi: int = 8
+) -> tuple[list[int], list[int]]:
+    """Sorted coordinates and values of a random sparse vector."""
+    rng = random.Random(seed)
+    count = min(length, max(1, round(density * length)))
+    coords = sorted(rng.sample(range(length), count))
+    values = [rng.randint(lo, hi) for _ in coords]
+    return coords, values
+
+
+def random_graph_csr(
+    nodes: int, density: float, seed: int
+) -> tuple[list[int], list[int]]:
+    """A random undirected graph as CSR adjacency (sorted, no self loops)."""
+    rng = random.Random(seed)
+    adjacency: list[set[int]] = [set() for _ in range(nodes)]
+    for u in range(nodes):
+        for v in range(u + 1, nodes):
+            if rng.random() < density:
+                adjacency[u].add(v)
+                adjacency[v].add(u)
+    pos = [0]
+    crd: list[int] = []
+    for u in range(nodes):
+        neighbors = sorted(adjacency[u])
+        crd.extend(neighbors)
+        pos.append(len(crd))
+    return pos, crd
+
+
+def csr_to_dense(
+    pos: list[int], crd: list[int], val: list[int], nrows: int, ncols: int
+) -> list[list[int]]:
+    dense = [[0] * ncols for _ in range(nrows)]
+    for r in range(nrows):
+        for k in range(pos[r], pos[r + 1]):
+            dense[r][crd[k]] = val[k]
+    return dense
+
+
+def transpose_csr(
+    pos: list[int], crd: list[int], val: list[int], nrows: int, ncols: int
+) -> tuple[list[int], list[int], list[int]]:
+    """CSR -> CSR of the transpose (i.e. CSC of the original)."""
+    counts = [0] * ncols
+    for c in crd:
+        counts[c] += 1
+    tpos = [0]
+    for c in range(ncols):
+        tpos.append(tpos[-1] + counts[c])
+    tcrd = [0] * len(crd)
+    tval = [0] * len(val)
+    cursor = list(tpos[:-1])
+    for r in range(nrows):
+        for k in range(pos[r], pos[r + 1]):
+            c = crd[k]
+            tcrd[cursor[c]] = r
+            tval[cursor[c]] = val[k]
+            cursor[c] += 1
+    return tpos, tcrd, tval
+
+
+def bit_reverse_permutation(n: int) -> list[int]:
+    """Index permutation for an n-point radix-2 FFT (n a power of two)."""
+    if n & (n - 1):
+        raise ReproError(f"FFT size {n} is not a power of two")
+    bits = n.bit_length() - 1
+    out = []
+    for i in range(n):
+        r = 0
+        for b in range(bits):
+            if i & (1 << b):
+                r |= 1 << (bits - 1 - b)
+        out.append(r)
+    return out
+
+
+def twiddle_factors(n: int) -> tuple[list[float], list[float]]:
+    """(real, imag) of W_n^k = exp(-2*pi*i*k/n) for k in [0, n/2)."""
+    real, imag = [], []
+    for k in range(n // 2):
+        angle = -2.0 * math.pi * k / n
+        real.append(math.cos(angle))
+        imag.append(math.sin(angle))
+    return real, imag

@@ -1,0 +1,45 @@
+"""Dense linear algebra: dmv (dense matrix-vector product, Table 1)."""
+
+from __future__ import annotations
+
+from repro.ir.builder import KernelBuilder
+from repro.workloads.base import WorkloadInstance, require_scale
+from repro.workloads.data import random_ints
+
+#: (rows, cols) per scale; the paper uses 1024x1024.
+DMV_SIZES = {"tiny": (8, 8), "small": (32, 32), "paper": (1024, 1024)}
+
+
+def build_dmv(scale: str = "small", seed: int = 0) -> WorkloadInstance:
+    """y = A @ x over integers, row-parallel."""
+    require_scale(scale)
+    n, m = DMV_SIZES[scale]
+    b = KernelBuilder("dmv", params=["n", "m"])
+    a_mat = b.array("A", n * m)
+    x_vec = b.array("x", m)
+    y_vec = b.array("y", n)
+    with b.parfor("r", 0, b.p.n) as r:
+        acc = b.let("acc", 0)
+        with b.for_("j", 0, b.p.m) as j:
+            b.set(acc, acc + a_mat.load(r * b.p.m + j) * x_vec.load(j))
+        y_vec.store(r, acc)
+    kernel = b.build()
+
+    a_data = random_ints(n * m, seed, -4, 4)
+    x_data = random_ints(m, seed + 1, -4, 4)
+    reference = [
+        sum(a_data[r * m + j] * x_data[j] for j in range(m))
+        for r in range(n)
+    ]
+    return WorkloadInstance(
+        name="dmv",
+        kernel=kernel,
+        params={"n": n, "m": m},
+        arrays={"A": a_data, "x": x_data},
+        outputs=["y"],
+        reference={"y": reference},
+        meta={
+            "category": "dense linear algebra",
+            "table1": f"Size: {n}x{m}",
+        },
+    )

@@ -1,0 +1,127 @@
+"""DSP: radix-2 iterative FFT (CMSIS-DSP ``arm_rfft_q31``-derived).
+
+A decimation-in-time complex FFT: bit-reversal gather, then log2(n)
+butterfly stages over in-place work buffers. Because the work buffers are
+loaded and stored on every stage, read-after-write ordering links stages
+— the memory-ordering behaviour the paper highlights for fft. Floats
+stand in for CMSIS's q31 fixed point (documented substitution; same loop
+and dependence structure).
+"""
+
+from __future__ import annotations
+
+
+
+from repro.ir.builder import KernelBuilder
+from repro.workloads.base import WorkloadInstance, require_scale
+from repro.workloads.data import (
+    bit_reverse_permutation,
+    random_floats,
+    twiddle_factors,
+)
+
+#: FFT points; paper: 4096 points over a 2^20-sample input.
+FFT_SIZES = {"tiny": 16, "small": 64, "paper": 4096}
+
+
+def build_fft(scale: str = "small", seed: int = 0) -> WorkloadInstance:
+    require_scale(scale)
+    n = FFT_SIZES[scale]
+    stages = n.bit_length() - 1
+    b = KernelBuilder("fft", params=["n", "stages"])
+    xre = b.array("xre", n, "f")
+    xim = b.array("xim", n, "f")
+    rev = b.array("rev", n)
+    wre = b.array("wre", n // 2, "f")
+    wim = b.array("wim", n // 2, "f")
+    re = b.array("re", n, "f")
+    im = b.array("im", n, "f")
+
+    with b.parfor("g", 0, b.p.n) as g:
+        src = rev.load(g, "rv")
+        re.store(g, xre.load(src))
+        im.store(g, xim.load(src))
+    with b.for_("s", 0, b.p.stages) as s:
+        half = b.let("half", 1 << s)
+        stride = b.let("stride", b.p.n // (half * 2))
+        with b.parfor("bf", 0, b.p.n // 2) as bf:
+            group = b.let("group", bf // half)
+            pos = b.let("pos", bf % half)
+            i = b.let("i", group * half * 2 + pos)
+            j = b.let("j", i + half)
+            tw = b.let("tw", pos * stride)
+            wr = wre.load(tw, "wr")
+            wi = wim.load(tw, "wi")
+            ar = re.load(i, "ar")
+            ai = im.load(i, "ai")
+            br = re.load(j, "br")
+            bi = im.load(j, "bi")
+            tr = b.let("tr", br * wr - bi * wi)
+            ti = b.let("ti", br * wi + bi * wr)
+            re.store(i, ar + tr)
+            im.store(i, ai + ti)
+            re.store(j, ar - tr)
+            im.store(j, ai - ti)
+    kernel = b.build()
+
+    sig_re = random_floats(n, seed)
+    sig_im = random_floats(n, seed + 1)
+    ref_re, ref_im = _fft_reference(sig_re, sig_im, n)
+    wre_v, wim_v = twiddle_factors(n)
+    return WorkloadInstance(
+        name="fft",
+        kernel=kernel,
+        params={"n": n, "stages": stages},
+        arrays={
+            "xre": sig_re,
+            "xim": sig_im,
+            "rev": bit_reverse_permutation(n),
+            "wre": wre_v,
+            "wim": wim_v,
+        },
+        outputs=["re", "im"],
+        reference={"re": ref_re, "im": ref_im},
+        tolerance=1e-9,
+        meta={
+            "category": "DSP",
+            "table1": f"Points: {n}",
+        },
+    )
+
+
+def _fft_reference(
+    sig_re: list[float], sig_im: list[float], n: int
+) -> tuple[list[float], list[float]]:
+    """The same radix-2 algorithm in plain Python, for bit-exact output."""
+    rev = bit_reverse_permutation(n)
+    wre, wim = twiddle_factors(n)
+    re = [sig_re[rev[i]] for i in range(n)]
+    im = [sig_im[rev[i]] for i in range(n)]
+    half = 1
+    while half < n:
+        stride = n // (half * 2)
+        for bf in range(n // 2):
+            group, pos = divmod(bf, half)
+            i = group * half * 2 + pos
+            j = i + half
+            wr, wi = wre[pos * stride], wim[pos * stride]
+            tr = re[j] * wr - im[j] * wi
+            ti = re[j] * wi + im[j] * wr
+            re[i], re[j] = re[i] + tr, re[i] - tr
+            im[i], im[j] = im[i] + ti, im[i] - ti
+        half *= 2
+    return re, im
+
+
+def fft_matches_numpy(instance: WorkloadInstance, atol: float = 1e-6) -> bool:
+    """Cross-check the reference against numpy's FFT (used in tests)."""
+    import numpy as np
+
+    signal = np.array(instance.arrays["xre"]) + 1j * np.array(
+        instance.arrays["xim"]
+    )
+    expected = np.fft.fft(signal)
+    got = np.array(instance.reference["re"]) + 1j * np.array(
+        instance.reference["im"]
+    )
+    return bool(np.allclose(got, expected, atol=atol))

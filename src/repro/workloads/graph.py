@@ -1,0 +1,76 @@
+"""Graph processing: triangle counting (tc, GAPBS-derived, Table 1).
+
+For every edge (u, v) with u < v, intersect the sorted adjacency lists of
+u and v counting common neighbors w > v, so each triangle u < v < w is
+counted exactly once. The neighbor intersection is the same stream-join
+recurrence as spmspv — its adjacency loads are class-A critical.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import KernelBuilder
+from repro.workloads.base import WorkloadInstance, require_scale
+from repro.workloads.data import random_graph_csr
+
+#: (nodes, density); paper: 4096 nodes at 5% density.
+TC_SIZES = {"tiny": (10, 0.3), "small": (28, 0.18), "paper": (4096, 0.05)}
+
+
+def build_tc(scale: str = "small", seed: int = 0) -> WorkloadInstance:
+    require_scale(scale)
+    nodes, density = TC_SIZES[scale]
+    pos, crd = random_graph_csr(nodes, density, seed)
+    b = KernelBuilder("tc", params=["n"])
+    pos_a = b.array("pos", nodes + 1)
+    crd_a = b.array("crd", max(1, len(crd)))
+    counts = b.array("counts", nodes)
+    with b.parfor("u", 0, b.p.n) as u:
+        ubeg = pos_a.load(u, "ubeg")
+        uend = pos_a.load(u + 1, "uend")
+        cnt = b.let("cnt", 0)
+        with b.for_("k", ubeg, uend) as k:
+            v = crd_a.load(k, "v")
+            with b.if_(u < v):
+                iu = b.let("iu", ubeg)
+                iv = b.let("iv", pos_a.load(v, "vbeg"))
+                vend = pos_a.load(v + 1, "vend")
+                with b.while_((iu < uend) & (iv < vend)):
+                    wu = crd_a.load(iu, "wu")  # class A
+                    wv = crd_a.load(iv, "wv")  # class A
+                    with b.if_(wu.eq(wv) & (wu > v)):
+                        b.set(cnt, cnt + 1)
+                    b.set(iu, iu + (wu <= wv))
+                    b.set(iv, iv + (wv <= wu))
+        counts.store(u, cnt)
+    kernel = b.build()
+
+    reference = _count_triangles(pos, crd, nodes)
+    return WorkloadInstance(
+        name="tc",
+        kernel=kernel,
+        params={"n": nodes},
+        arrays={"pos": pos, "crd": crd or [0]},
+        outputs=["counts"],
+        reference={"counts": reference},
+        meta={
+            "category": "graph processing",
+            "table1": f"Nodes: {nodes}, Density: {density:.0%}",
+            "total_triangles": sum(reference),
+        },
+    )
+
+
+def _count_triangles(pos: list, crd: list, nodes: int) -> list[int]:
+    neighbor_sets = [
+        set(crd[pos[u]:pos[u + 1]]) for u in range(nodes)
+    ]
+    counts = [0] * nodes
+    for u in range(nodes):
+        for v in crd[pos[u]:pos[u + 1]]:
+            if u < v:
+                counts[u] += sum(
+                    1
+                    for w in neighbor_sets[u] & neighbor_sets[v]
+                    if w > v
+                )
+    return counts

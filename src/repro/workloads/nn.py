@@ -1,0 +1,284 @@
+"""Neural networks: ad, ic, vww (MLPerfTiny-derived, Table 1).
+
+Representative layer stacks with the same kernel structure as the
+MLPerfTiny networks the paper runs (documented substitution — full
+networks are impractical at cycle granularity in Python):
+
+* **ad** (anomaly detection, deep autoencoder): two fully connected
+  layers, encode with ReLU then decode.
+* **ic** (image classification, CNN): 3x3 convolution + ReLU + 2x2 max
+  pool + fully connected classifier.
+* **vww** (visual wake words, MobileNet): 3x3 depthwise convolution +
+  1x1 pointwise convolution + ReLU + fully connected classifier.
+
+All dense inner loops, no data-dependent recurrences: their memory ops are
+class B, so these workloads gain from domain awareness but not from
+criticality information — the Fig. 12 contrast.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import KernelBuilder
+from repro.workloads.base import WorkloadInstance, require_scale
+from repro.workloads.data import random_ints
+
+#: (input dim, hidden dim); paper input 5x128 autoencoder.
+AD_SIZES = {"tiny": (8, 4), "small": (24, 12), "paper": (640, 128)}
+#: (image h=w, cin, cout, classes); paper 32x32 CIFAR-style CNN.
+IC_SIZES = {
+    "tiny": (6, 1, 2, 2),
+    "small": (10, 2, 4, 4),
+    "paper": (32, 3, 16, 10),
+}
+#: (image h=w, channels, pointwise cout, classes); paper 96x96 MobileNet.
+VWW_SIZES = {
+    "tiny": (6, 1, 2, 2),
+    "small": (10, 2, 4, 2),
+    "paper": (96, 8, 16, 2),
+}
+
+
+def _relu(value):
+    return value.max(0)
+
+
+def build_ad(scale: str = "small", seed: int = 0) -> WorkloadInstance:
+    require_scale(scale)
+    nin, nh = AD_SIZES[scale]
+    b = KernelBuilder("ad", params=["nin", "nh"])
+    x = b.array("x", nin)
+    w1 = b.array("W1", nh * nin)
+    b1 = b.array("b1", nh)
+    hid = b.array("h", nh)
+    w2 = b.array("W2", nin * nh)
+    b2 = b.array("b2", nin)
+    y = b.array("y", nin)
+    with b.parfor("o", 0, b.p.nh) as o:
+        acc = b.let("acc", b1.load(o))
+        with b.for_("j", 0, b.p.nin) as j:
+            b.set(acc, acc + w1.load(o * b.p.nin + j) * x.load(j))
+        hid.store(o, _relu(acc))
+    with b.parfor("q", 0, b.p.nin) as q:
+        acc2 = b.let("acc2", b2.load(q))
+        with b.for_("j2", 0, b.p.nh) as j2:
+            b.set(acc2, acc2 + w2.load(q * b.p.nh + j2) * hid.load(j2))
+        y.store(q, acc2)
+    kernel = b.build()
+
+    xv = random_ints(nin, seed, -3, 3)
+    w1v = random_ints(nh * nin, seed + 1, -2, 2)
+    b1v = random_ints(nh, seed + 2, -2, 2)
+    w2v = random_ints(nin * nh, seed + 3, -2, 2)
+    b2v = random_ints(nin, seed + 4, -2, 2)
+    href = [
+        max(
+            0,
+            b1v[o] + sum(w1v[o * nin + j] * xv[j] for j in range(nin)),
+        )
+        for o in range(nh)
+    ]
+    yref = [
+        b2v[q] + sum(w2v[q * nh + j] * href[j] for j in range(nh))
+        for q in range(nin)
+    ]
+    return WorkloadInstance(
+        name="ad",
+        kernel=kernel,
+        params={"nin": nin, "nh": nh},
+        arrays={"x": xv, "W1": w1v, "b1": b1v, "W2": w2v, "b2": b2v},
+        outputs=["y"],
+        reference={"y": yref},
+        meta={"category": "ML", "table1": f"Size: {nin}->{nh}->{nin}"},
+    )
+
+
+def build_ic(scale: str = "small", seed: int = 0) -> WorkloadInstance:
+    require_scale(scale)
+    hw, cin, cout, classes = IC_SIZES[scale]
+    oh = hw - 2
+    ph = oh // 2
+    b = KernelBuilder("ic", params=["hw", "cin", "cout", "classes"])
+    x = b.array("X", cin * hw * hw)
+    w = b.array("W", cout * cin * 9)
+    bias = b.array("bias", cout)
+    conv = b.array("conv", cout * oh * oh)
+    fcw = b.array("FCW", classes * cout * ph * ph)
+    out = b.array("out", classes)
+    oh_e = b.p.hw - 2
+    with b.parfor("oc", 0, b.p.cout) as oc:
+        with b.for_("p", 0, oh_e * oh_e) as p:
+            oy = b.let("oy", p // oh_e)
+            ox = b.let("ox", p % oh_e)
+            acc = b.let("acc", bias.load(oc))
+            with b.for_("q", 0, b.p.cin * 9) as q:
+                ci = b.let("ci", q // 9)
+                ky = b.let("ky", q % 9 // 3)
+                kx = b.let("kx", q % 3)
+                px = x.load((ci * b.p.hw + oy + ky) * b.p.hw + ox + kx)
+                b.set(acc, acc + px * w.load(oc * b.p.cin * 9 + q))
+            conv.store((oc * oh_e + oy) * oh_e + ox, _relu(acc))
+    # The 2x2 max pool is fused into the classifier: each FC feature is
+    # the max of its pooling window, computed on the fly.
+    ph_e = oh_e // 2
+    feat = b.p.cout * ph_e * ph_e
+    with b.parfor("cl", 0, b.p.classes) as cl:
+        acc3 = b.let("acc3", 0)
+        with b.for_("f", 0, feat) as f:
+            pc = b.let("pc", f // (ph_e * ph_e))
+            rem = b.let("rem", f % (ph_e * ph_e))
+            py = b.let("py", rem // ph_e)
+            px2 = b.let("px2", rem % ph_e)
+            base = b.let("base", (pc * oh_e + py * 2) * oh_e + px2 * 2)
+            v0 = conv.load(base)
+            v1 = conv.load(base + 1)
+            v2 = conv.load(base + oh_e)
+            v3 = conv.load(base + oh_e + 1)
+            pooled_v = v0.max(v1).max(v2.max(v3))
+            b.set(acc3, acc3 + fcw.load(cl * feat + f) * pooled_v)
+        out.store(cl, acc3)
+    kernel = b.build()
+
+    xv = random_ints(cin * hw * hw, seed, 0, 4)
+    wv = random_ints(cout * cin * 9, seed + 1, -2, 2)
+    bv = random_ints(cout, seed + 2, -2, 2)
+    fcv = random_ints(classes * cout * ph * ph, seed + 3, -2, 2)
+    conv_ref, pooled_ref, out_ref = _ic_reference(
+        xv, wv, bv, fcv, hw, cin, cout, classes
+    )
+    return WorkloadInstance(
+        name="ic",
+        kernel=kernel,
+        params={"hw": hw, "cin": cin, "cout": cout, "classes": classes},
+        arrays={"X": xv, "W": wv, "bias": bv, "FCW": fcv},
+        outputs=["out", "conv"],
+        reference={"out": out_ref, "conv": conv_ref},
+        meta={"category": "ML", "table1": f"Size: {hw}x{hw}"},
+    )
+
+
+def _ic_reference(xv, wv, bv, fcv, hw, cin, cout, classes):
+    oh = hw - 2
+    ph = oh // 2
+    conv = [0] * (cout * oh * oh)
+    for oc in range(cout):
+        for oy in range(oh):
+            for ox in range(oh):
+                acc = bv[oc]
+                for ci in range(cin):
+                    for ky in range(3):
+                        for kx in range(3):
+                            acc += (
+                                xv[(ci * hw + oy + ky) * hw + ox + kx]
+                                * wv[oc * cin * 9 + ci * 9 + ky * 3 + kx]
+                            )
+                conv[(oc * oh + oy) * oh + ox] = max(0, acc)
+    pooled = [0] * (cout * ph * ph)
+    for oc in range(cout):
+        for py in range(ph):
+            for px in range(ph):
+                base = (oc * oh + py * 2) * oh + px * 2
+                pooled[(oc * ph + py) * ph + px] = max(
+                    conv[base],
+                    conv[base + 1],
+                    conv[base + oh],
+                    conv[base + oh + 1],
+                )
+    feat = cout * ph * ph
+    out = [
+        sum(fcv[cl * feat + f] * pooled[f] for f in range(feat))
+        for cl in range(classes)
+    ]
+    return conv, pooled, out
+
+
+def build_vww(scale: str = "small", seed: int = 0) -> WorkloadInstance:
+    require_scale(scale)
+    hw, chans, cout, classes = VWW_SIZES[scale]
+    oh = hw - 2
+    b = KernelBuilder("vww", params=["hw", "ch", "cout", "classes"])
+    x = b.array("X", chans * hw * hw)
+    dw = b.array("DW", chans * 9)
+    pw = b.array("PW", cout * chans)
+    dwo = b.array("dwo", chans * oh * oh)
+    fcw = b.array("FCW", classes * cout * oh * oh)
+    out = b.array("out", classes)
+    oh_e = b.p.hw - 2
+    with b.parfor("c", 0, b.p.ch) as c:
+        with b.for_("p", 0, oh_e * oh_e) as p:
+            oy = b.let("oy", p // oh_e)
+            ox = b.let("ox", p % oh_e)
+            acc = b.let("acc", 0)
+            with b.for_("q", 0, 9) as q:
+                ky = b.let("ky", q // 3)
+                kx = b.let("kx", q % 3)
+                b.set(
+                    acc,
+                    acc
+                    + x.load((c * b.p.hw + oy + ky) * b.p.hw + ox + kx)
+                    * dw.load(c * 9 + q),
+                )
+            dwo.store((c * oh_e + oy) * oh_e + ox, _relu(acc))
+    # The 1x1 pointwise convolution (+ReLU) is fused into the classifier:
+    # each FC feature is recomputed on the fly from the depthwise output.
+    area = oh_e * oh_e
+    feat = b.p.cout * area
+    with b.parfor("cl", 0, b.p.classes) as cl:
+        acc3 = b.let("acc3", 0)
+        with b.for_("f", 0, feat) as f:
+            oc = b.let("oc", f // area)
+            p2 = b.let("p2", f % area)
+            acc2 = b.let("acc2", 0)
+            with b.for_("c2", 0, b.p.ch) as c2:
+                b.set(
+                    acc2,
+                    acc2
+                    + dwo.load(c2 * area + p2) * pw.load(oc * b.p.ch + c2),
+                )
+            b.set(acc3, acc3 + fcw.load(cl * feat + f) * _relu(acc2))
+        out.store(cl, acc3)
+    kernel = b.build()
+
+    xv = random_ints(chans * hw * hw, seed, 0, 4)
+    dwv = random_ints(chans * 9, seed + 1, -2, 2)
+    pwv = random_ints(cout * chans, seed + 2, -2, 2)
+    fcv = random_ints(classes * cout * oh * oh, seed + 3, -2, 2)
+    out_ref = _vww_reference(xv, dwv, pwv, fcv, hw, chans, cout, classes)
+    return WorkloadInstance(
+        name="vww",
+        kernel=kernel,
+        params={"hw": hw, "ch": chans, "cout": cout, "classes": classes},
+        arrays={"X": xv, "DW": dwv, "PW": pwv, "FCW": fcv},
+        outputs=["out"],
+        reference={"out": out_ref},
+        meta={"category": "ML", "table1": f"Size: {hw}x{hw}"},
+    )
+
+
+def _vww_reference(xv, dwv, pwv, fcv, hw, chans, cout, classes):
+    oh = hw - 2
+    area = oh * oh
+    dwo = [0] * (chans * area)
+    for c in range(chans):
+        for oy in range(oh):
+            for ox in range(oh):
+                acc = 0
+                for ky in range(3):
+                    for kx in range(3):
+                        acc += (
+                            xv[(c * hw + oy + ky) * hw + ox + kx]
+                            * dwv[c * 9 + ky * 3 + kx]
+                        )
+                dwo[(c * oh + oy) * oh + ox] = max(0, acc)
+    pwo = [0] * (cout * area)
+    for oc in range(cout):
+        for p in range(area):
+            acc = sum(
+                dwo[c * area + p] * pwv[oc * chans + c]
+                for c in range(chans)
+            )
+            pwo[oc * area + p] = max(0, acc)
+    feat = cout * area
+    return [
+        sum(fcv[cl * feat + f] * pwo[f] for f in range(feat))
+        for cl in range(classes)
+    ]

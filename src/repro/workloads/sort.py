@@ -1,0 +1,103 @@
+"""Sorting: bottom-up mergesort (Table 1).
+
+Iterative mergesort over a single double-width buffer: pass ``p`` merges
+runs of width ``2^p`` from one half into the other, the halves alternating
+by pass parity (ping-pong via base offsets rather than two arrays — this
+keeps the DFG to one merge body). The element count is a power of 4, so
+the pass count is even and the sorted result lands back in the first half.
+
+The two-pointer merge loop carries a load-dependent recurrence (the next
+iteration's loads depend on the comparison of the current loads), so its
+loads are class-A critical.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.ir.builder import KernelBuilder
+from repro.workloads.base import WorkloadInstance, require_scale
+from repro.workloads.data import random_ints
+
+#: Element count (power of 4); paper sorts 2^20 elements.
+SORT_SIZES = {"tiny": 16, "small": 64, "paper": 1 << 20}
+
+
+def build_mergesort(scale: str = "small", seed: int = 0) -> WorkloadInstance:
+    require_scale(scale)
+    n = SORT_SIZES[scale]
+    passes = n.bit_length() - 1
+    if n & (n - 1) or passes % 2:
+        raise ReproError("mergesort size must be a power of 4")
+    b = KernelBuilder("mergesort", params=["n", "passes"])
+    buf = b.array("buf", 2 * n)
+    with b.for_("p", 0, b.p.passes) as p:
+        src = b.let("src", p % 2 * b.p.n)
+        dst = b.let("dst", b.p.n - src)
+        width = b.let("w", 1 << p)
+        with b.parfor("ru", 0, b.p.n // (width * 2)) as ru:
+            lo = b.let("lo", ru * width * 2)
+            mid = b.let("mid", lo + width)
+            hi = b.let("hi", lo + width * 2)
+            i = b.let("i", lo)
+            j = b.let("j", mid)
+            k = b.let("k", lo)
+            with b.while_((i < mid) & (j < hi)):
+                a = buf.load(src + i, "a")  # class A
+                c = buf.load(src + j, "c")  # class A
+                buf.store(dst + k, a.min(c))
+                b.set(i, i + (a <= c))
+                b.set(j, j + (c < a))
+                b.set(k, k + 1)
+            with b.while_(i < mid):
+                buf.store(dst + k, buf.load(src + i))
+                b.set(i, i + 1)
+                b.set(k, k + 1)
+            with b.while_(j < hi):
+                buf.store(dst + k, buf.load(src + j))
+                b.set(j, j + 1)
+                b.set(k, k + 1)
+    kernel = b.build()
+
+    data = random_ints(n, seed, 0, 999)
+    reference = _mergesort_reference(data, n, passes)
+    assert reference[:n] == sorted(data)
+    return WorkloadInstance(
+        name="mergesort",
+        kernel=kernel,
+        params={"n": n, "passes": passes},
+        arrays={"buf": data + [0] * n},
+        outputs=["buf"],
+        reference={"buf": reference},
+        meta={
+            "category": "sorting",
+            "table1": f"List size: {n}",
+        },
+    )
+
+
+def _mergesort_reference(data: list[int], n: int, passes: int) -> list[int]:
+    """Replay the buffer-level algorithm to get the exact final state."""
+    buf = list(data) + [0] * n
+    for p in range(passes):
+        src = (p % 2) * n
+        dst = n - src
+        width = 1 << p
+        for ru in range(n // (width * 2)):
+            lo = ru * width * 2
+            mid, hi = lo + width, lo + width * 2
+            i, j, k = lo, mid, lo
+            while i < mid and j < hi:
+                a, c = buf[src + i], buf[src + j]
+                buf[dst + k] = min(a, c)
+                i += a <= c
+                j += c < a
+                k += 1
+            while i < mid:
+                buf[dst + k] = buf[src + i]
+                i += 1
+                k += 1
+            while j < hi:
+                buf[dst + k] = buf[src + j]
+                j += 1
+                k += 1
+    return buf

@@ -1,0 +1,263 @@
+"""Sparse tensor algebra: spmv, spmspv, spmspm, spadd (TACO-style).
+
+spmspv is the paper's running example: its intersection (stream-join) has
+loads on a loop-governing recurrence — the compiler classifies them as
+class-A critical loads, and NUPEA places them in domain D0. spmspm and
+spadd share that co-iteration structure; spmv's inner loop is a counted
+loop, so its loads are inner-loop (class B) only.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import KernelBuilder
+from repro.workloads.base import WorkloadInstance, require_scale
+from repro.workloads.data import (
+    csr_to_dense,
+    random_csr,
+    random_ints,
+    random_sparse_vector,
+    transpose_csr,
+)
+
+#: (rows=cols, density); paper: 4096x4096 at 90% sparsity.
+SPMV_SIZES = {"tiny": (12, 0.25), "small": (48, 0.1), "paper": (4096, 0.1)}
+SPMSPV_SIZES = {
+    "tiny": (16, 0.25, 0.25),
+    "small": (96, 0.12, 0.15),
+    "paper": (4096, 0.1, 0.1),
+}
+#: (n, density); paper: 512x512 at 90% sparsity.
+SPMSPM_SIZES = {"tiny": (6, 0.3), "small": (12, 0.25), "paper": (512, 0.1)}
+#: (n, density); paper: 1024x1024 at 50% sparsity.
+SPADD_SIZES = {"tiny": (8, 0.3), "small": (24, 0.5), "paper": (1024, 0.5)}
+
+
+def build_spmv(scale: str = "small", seed: int = 0) -> WorkloadInstance:
+    """y = A @ x with A in CSR and x dense."""
+    require_scale(scale)
+    n, density = SPMV_SIZES[scale]
+    pos, crd, val = random_csr(n, n, density, seed)
+    nnz = len(crd)
+    b = KernelBuilder("spmv", params=["n"])
+    pos_a = b.array("pos", n + 1)
+    crd_a = b.array("crd", max(1, nnz))
+    val_a = b.array("val", max(1, nnz))
+    x_vec = b.array("x", n)
+    y_vec = b.array("y", n)
+    with b.parfor("r", 0, b.p.n) as r:
+        beg = pos_a.load(r, "beg")
+        end = pos_a.load(r + 1, "end")
+        acc = b.let("acc", 0)
+        with b.for_("k", beg, end) as k:
+            col = crd_a.load(k, "col")
+            b.set(acc, acc + val_a.load(k) * x_vec.load(col))
+        y_vec.store(r, acc)
+    kernel = b.build()
+
+    x_data = random_ints(n, seed + 1, -4, 4)
+    dense = csr_to_dense(pos, crd, val, n, n)
+    reference = [
+        sum(dense[r][c] * x_data[c] for c in range(n)) for r in range(n)
+    ]
+    return WorkloadInstance(
+        name="spmv",
+        kernel=kernel,
+        params={"n": n},
+        arrays={
+            "pos": pos,
+            "crd": crd or [0],
+            "val": val or [0],
+            "x": x_data,
+        },
+        outputs=["y"],
+        reference={"y": reference},
+        meta={
+            "category": "sparse linear algebra",
+            "table1": f"Size: {n}x{n}, Sparsity: {1 - density:.0%}",
+        },
+    )
+
+
+def build_spmspv(scale: str = "small", seed: int = 0) -> WorkloadInstance:
+    """D = A @ v with A in CSR and v a sorted sparse vector (Fig. 3/5)."""
+    require_scale(scale)
+    n, density, vdensity = SPMSPV_SIZES[scale]
+    pos, crd, val = random_csr(n, n, density, seed)
+    vcrd, vval = random_sparse_vector(n, vdensity, seed + 1)
+    nnz, nv = len(crd), len(vcrd)
+    b = KernelBuilder("spmspv", params=["n", "nv"])
+    pos_a = b.array("pos", n + 1)
+    crd_a = b.array("crd", max(1, nnz))
+    val_a = b.array("val", max(1, nnz))
+    vcrd_a = b.array("vcrd", nv)
+    vval_a = b.array("vval", nv)
+    d_vec = b.array("D", n)
+    with b.parfor("r", 0, b.p.n) as r:
+        ia = b.let("ia", pos_a.load(r, "beg"))
+        aend = pos_a.load(r + 1, "aend")
+        iv = b.let("iv", 0)
+        acc = b.let("acc", 0)
+        with b.while_((ia < aend) & (iv < b.p.nv)):
+            a_idx = crd_a.load(ia, "Ai")  # critical load (class A)
+            v_idx = vcrd_a.load(iv, "Vi")  # critical load (class A)
+            with b.if_(a_idx.eq(v_idx)):
+                b.set(acc, acc + val_a.load(ia) * vval_a.load(iv))
+            b.set(ia, ia + (a_idx <= v_idx))
+            b.set(iv, iv + (v_idx <= a_idx))
+        d_vec.store(r, acc)
+    kernel = b.build()
+
+    dense = csr_to_dense(pos, crd, val, n, n)
+    vec = [0] * n
+    for c, v in zip(vcrd, vval):
+        vec[c] = v
+    reference = [
+        sum(dense[r][c] * vec[c] for c in range(n)) for r in range(n)
+    ]
+    return WorkloadInstance(
+        name="spmspv",
+        kernel=kernel,
+        params={"n": n, "nv": nv},
+        arrays={
+            "pos": pos,
+            "crd": crd or [0],
+            "val": val or [0],
+            "vcrd": vcrd,
+            "vval": vval,
+        },
+        outputs=["D"],
+        reference={"D": reference},
+        meta={
+            "category": "sparse linear algebra",
+            "table1": f"Size: {n}x{n}, Sparsity: {1 - density:.0%}",
+        },
+    )
+
+
+def build_spmspm(scale: str = "small", seed: int = 0) -> WorkloadInstance:
+    """C = A @ B, both sparse; inner-product co-iteration per (r, c)."""
+    require_scale(scale)
+    n, density = SPMSPM_SIZES[scale]
+    apos, acrd, aval = random_csr(n, n, density, seed)
+    bpos, bcrd, bval = random_csr(n, n, density, seed + 1)
+    tpos, tcrd, tval = transpose_csr(bpos, bcrd, bval, n, n)
+    b = KernelBuilder("spmspm", params=["n"])
+    apos_a = b.array("apos", n + 1)
+    acrd_a = b.array("acrd", max(1, len(acrd)))
+    aval_a = b.array("aval", max(1, len(aval)))
+    tpos_a = b.array("tpos", n + 1)
+    tcrd_a = b.array("tcrd", max(1, len(tcrd)))
+    tval_a = b.array("tval", max(1, len(tval)))
+    c_mat = b.array("C", n * n)
+    with b.parfor("r", 0, b.p.n) as r:
+        abeg = apos_a.load(r, "abeg")
+        aend = apos_a.load(r + 1, "aend")
+        with b.for_("c", 0, b.p.n) as c:
+            ia = b.let("ia", abeg)
+            ib = b.let("ib", tpos_a.load(c, "bbeg"))
+            bend = tpos_a.load(c + 1, "bend")
+            acc = b.let("acc", 0)
+            with b.while_((ia < aend) & (ib < bend)):
+                a_idx = acrd_a.load(ia, "Ai")  # class A
+                b_idx = tcrd_a.load(ib, "Bi")  # class A
+                with b.if_(a_idx.eq(b_idx)):
+                    b.set(acc, acc + aval_a.load(ia) * tval_a.load(ib))
+                b.set(ia, ia + (a_idx <= b_idx))
+                b.set(ib, ib + (b_idx <= a_idx))
+            c_mat.store(r * b.p.n + c, acc)
+    kernel = b.build()
+
+    da = csr_to_dense(apos, acrd, aval, n, n)
+    db = csr_to_dense(bpos, bcrd, bval, n, n)
+    reference = [
+        sum(da[r][k] * db[k][c] for k in range(n))
+        for r in range(n)
+        for c in range(n)
+    ]
+    return WorkloadInstance(
+        name="spmspm",
+        kernel=kernel,
+        params={"n": n},
+        arrays={
+            "apos": apos,
+            "acrd": acrd or [0],
+            "aval": aval or [0],
+            "tpos": tpos,
+            "tcrd": tcrd or [0],
+            "tval": tval or [0],
+        },
+        outputs=["C"],
+        reference={"C": reference},
+        meta={
+            "category": "sparse linear algebra",
+            "table1": f"Size: {n}x{n}, Sparsity: {1 - density:.0%}",
+        },
+    )
+
+
+def build_spadd(scale: str = "small", seed: int = 0) -> WorkloadInstance:
+    """C = A + B (sparse + sparse, union co-iteration, dense output)."""
+    require_scale(scale)
+    n, density = SPADD_SIZES[scale]
+    apos, acrd, aval = random_csr(n, n, density, seed)
+    bpos, bcrd, bval = random_csr(n, n, density, seed + 1)
+    b = KernelBuilder("spadd", params=["n"])
+    apos_a = b.array("apos", n + 1)
+    acrd_a = b.array("acrd", max(1, len(acrd)))
+    aval_a = b.array("aval", max(1, len(aval)))
+    bpos_a = b.array("bpos", n + 1)
+    bcrd_a = b.array("bcrd", max(1, len(bcrd)))
+    bval_a = b.array("bval", max(1, len(bval)))
+    c_mat = b.array("C", n * n)
+    with b.parfor("r", 0, b.p.n) as r:
+        ia = b.let("ia", apos_a.load(r, "abeg"))
+        aend = apos_a.load(r + 1, "aend")
+        ib = b.let("ib", bpos_a.load(r, "bbeg"))
+        bend = bpos_a.load(r + 1, "bend")
+        row = b.let("row", r * b.p.n)
+        with b.while_((ia < aend) & (ib < bend)):
+            a_idx = acrd_a.load(ia, "Ai")  # class A
+            b_idx = bcrd_a.load(ib, "Bi")  # class A
+            with b.if_(a_idx.eq(b_idx)):
+                c_mat.store(row + a_idx, aval_a.load(ia) + bval_a.load(ib))
+            with b.else_():
+                with b.if_(a_idx < b_idx):
+                    c_mat.store(row + a_idx, aval_a.load(ia))
+                with b.else_():
+                    c_mat.store(row + b_idx, bval_a.load(ib))
+            b.set(ia, ia + (a_idx <= b_idx))
+            b.set(ib, ib + (b_idx <= a_idx))
+        with b.while_(ia < aend):
+            c_mat.store(row + acrd_a.load(ia, "Ad"), aval_a.load(ia))
+            b.set(ia, ia + 1)
+        with b.while_(ib < bend):
+            c_mat.store(row + bcrd_a.load(ib, "Bd"), bval_a.load(ib))
+            b.set(ib, ib + 1)
+    kernel = b.build()
+
+    da = csr_to_dense(apos, acrd, aval, n, n)
+    db = csr_to_dense(bpos, bcrd, bval, n, n)
+    reference = [
+        da[r][c] + db[r][c] if (da[r][c] or db[r][c]) else 0
+        for r in range(n)
+        for c in range(n)
+    ]
+    return WorkloadInstance(
+        name="spadd",
+        kernel=kernel,
+        params={"n": n},
+        arrays={
+            "apos": apos,
+            "acrd": acrd or [0],
+            "aval": aval or [0],
+            "bpos": bpos,
+            "bcrd": bcrd or [0],
+            "bval": bval or [0],
+        },
+        outputs=["C"],
+        reference={"C": reference},
+        meta={
+            "category": "sparse linear algebra",
+            "table1": f"Size: {n}x{n}, Sparsity: {1 - density:.0%}",
+        },
+    )

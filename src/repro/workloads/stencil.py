@@ -1,0 +1,162 @@
+"""Stencils: jacobi2d and heat3d (Polybench-derived, Table 1).
+
+Both use two ping-pong buffers with two row-parallel sweeps per step, so
+consecutive sweeps are linked by read-after-write memory ordering — these
+are the workloads the paper calls out as "particularly latency sensitive
+because their DFGs feature memory ordering".
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import KernelBuilder
+from repro.workloads.base import WorkloadInstance, require_scale
+from repro.workloads.data import random_ints
+
+#: (grid n, ping-pong step pairs); paper: 200x200 / 100 steps.
+JACOBI_SIZES = {"tiny": (6, 1), "small": (14, 2), "paper": (200, 50)}
+#: (grid n, step pairs); paper: 40x40x40 / 80 steps (we cube a smaller n).
+HEAT_SIZES = {"tiny": (4, 1), "small": (6, 2), "paper": (40, 40)}
+
+
+def _jacobi_sweep(b, src, dst, n_param, prefix: str) -> None:
+    """One 5-point interior sweep dst <- avg(src).
+
+    The interior is traversed as a single collapsed loop (the row/column
+    are decoded from the flat index) so the whole sweep fits one small
+    loop spine — the kind of restructuring an SDA programmer does to fit
+    more spatial parallelism on the fabric.
+    """
+    inner = n_param - 2
+    with b.parfor(f"p{prefix}", 0, inner * inner) as p:
+        i = b.let(f"i{prefix}", p // inner + 1)
+        j = b.let(f"j{prefix}", p % inner + 1)
+        center = src.load(i * n_param + j)
+        total = (
+            center
+            + src.load((i - 1) * n_param + j)
+            + src.load((i + 1) * n_param + j)
+            + src.load(i * n_param + j - 1)
+            + src.load(i * n_param + j + 1)
+        )
+        dst.store(i * n_param + j, total // 5)
+
+
+def build_jacobi2d(scale: str = "small", seed: int = 0) -> WorkloadInstance:
+    require_scale(scale)
+    n, pairs = JACOBI_SIZES[scale]
+    b = KernelBuilder("jacobi2d", params=["n", "pairs"])
+    a_grid = b.array("A", n * n)
+    b_grid = b.array("B", n * n)
+    with b.for_("t", 0, b.p.pairs):
+        _jacobi_sweep(b, a_grid, b_grid, b.p.n, "a")
+        _jacobi_sweep(b, b_grid, a_grid, b.p.n, "b")
+    kernel = b.build()
+
+    a_data = random_ints(n * n, seed, 0, 64)
+    reference_a = list(a_data)
+    reference_b = [0] * (n * n)
+    for _ in range(pairs):
+        _jacobi_ref(reference_a, reference_b, n)
+        _jacobi_ref(reference_b, reference_a, n)
+    return WorkloadInstance(
+        name="jacobi2d",
+        kernel=kernel,
+        params={"n": n, "pairs": pairs},
+        arrays={"A": a_data},
+        outputs=["A", "B"],
+        reference={"A": reference_a, "B": reference_b},
+        meta={
+            "category": "stencil",
+            "table1": f"Size: {n}x{n}, {2 * pairs} steps",
+        },
+    )
+
+
+def _jacobi_ref(src: list, dst: list, n: int) -> None:
+    for i in range(1, n - 1):
+        for j in range(1, n - 1):
+            total = (
+                src[i * n + j]
+                + src[(i - 1) * n + j]
+                + src[(i + 1) * n + j]
+                + src[i * n + j - 1]
+                + src[i * n + j + 1]
+            )
+            dst[i * n + j] = total // 5
+
+
+def _heat_sweep(b, src, dst, n_param, prefix: str) -> None:
+    """One 7-point interior sweep on an n^3 grid (collapsed interior).
+
+    Neighbor addresses are strength-reduced to ``base +- {1, n, n^2}``;
+    the +-n and +-n^2 offsets are launch-time constants, so each neighbor
+    costs a single add.
+    """
+    inner = n_param - 2
+    stride_j = n_param
+    stride_i = n_param * n_param
+    with b.parfor(f"p{prefix}", 0, inner * inner * inner) as p:
+        i = b.let(f"i{prefix}", p // (inner * inner) + 1)
+        rem = b.let(f"rem{prefix}", p % (inner * inner))
+        j = b.let(f"j{prefix}", rem // inner + 1)
+        k = b.let(f"k{prefix}", rem % inner + 1)
+        base = b.let(f"base{prefix}", (i * n_param + j) * n_param + k)
+        center = src.load(base)
+        total = (
+            center * 2
+            + src.load(base - stride_i)
+            + src.load(base + stride_i)
+            + src.load(base - stride_j)
+            + src.load(base + stride_j)
+            + src.load(base - 1)
+            + src.load(base + 1)
+        )
+        dst.store(base, total // 8)
+
+
+def build_heat3d(scale: str = "small", seed: int = 0) -> WorkloadInstance:
+    require_scale(scale)
+    n, pairs = HEAT_SIZES[scale]
+    b = KernelBuilder("heat3d", params=["n", "pairs"])
+    a_grid = b.array("A", n * n * n)
+    b_grid = b.array("B", n * n * n)
+    with b.for_("t", 0, b.p.pairs):
+        _heat_sweep(b, a_grid, b_grid, b.p.n, "a")
+        _heat_sweep(b, b_grid, a_grid, b.p.n, "b")
+    kernel = b.build()
+
+    a_data = random_ints(n * n * n, seed, 0, 64)
+    ref_a = list(a_data)
+    ref_b = [0] * (n * n * n)
+    for _ in range(pairs):
+        _heat_ref(ref_a, ref_b, n)
+        _heat_ref(ref_b, ref_a, n)
+    return WorkloadInstance(
+        name="heat3d",
+        kernel=kernel,
+        params={"n": n, "pairs": pairs},
+        arrays={"A": a_data},
+        outputs=["A", "B"],
+        reference={"A": ref_a, "B": ref_b},
+        meta={
+            "category": "stencil",
+            "table1": f"Size: {n}x{n}x{n}, {2 * pairs} steps",
+        },
+    )
+
+
+def _heat_ref(src: list, dst: list, n: int) -> None:
+    for i in range(1, n - 1):
+        for j in range(1, n - 1):
+            for k in range(1, n - 1):
+                base = (i * n + j) * n + k
+                total = (
+                    src[base] * 2
+                    + src[((i - 1) * n + j) * n + k]
+                    + src[((i + 1) * n + j) * n + k]
+                    + src[(i * n + j - 1) * n + k]
+                    + src[(i * n + j + 1) * n + k]
+                    + src[base - 1]
+                    + src[base + 1]
+                )
+                dst[base] = total // 8

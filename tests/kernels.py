@@ -1,0 +1,146 @@
+"""Shared kernel zoo for tests: small programs covering every construct."""
+
+from __future__ import annotations
+
+from repro.ir.builder import KernelBuilder
+
+
+def dot_kernel(n: int = 8):
+    """Counted loop with an accumulator."""
+    b = KernelBuilder("dot", params=["n"])
+    x = b.array("x", n)
+    y = b.array("y", n)
+    out = b.array("out", 1)
+    acc = b.let("acc", 0)
+    with b.for_("i", 0, b.p.n) as i:
+        b.set(acc, acc + x.load(i) * y.load(i))
+    out.store(0, acc)
+    return b.build()
+
+
+def join_kernel(n: int = 16):
+    """Stream join: while + if, class-A critical loads."""
+    b = KernelBuilder("join", params=["na", "nb"])
+    a = b.array("A", n)
+    c = b.array("B", n)
+    out = b.array("O", 1)
+    ia = b.let("ia", 0)
+    ib = b.let("ib", 0)
+    cnt = b.let("cnt", 0)
+    with b.while_((ia < b.p.na) & (ib < b.p.nb)):
+        av = a.load(ia)
+        bv = c.load(ib)
+        with b.if_(av.eq(bv)):
+            b.set(cnt, cnt + 1)
+        b.set(ia, ia + (av <= bv))
+        b.set(ib, ib + (bv <= av))
+    out.store(0, cnt)
+    return b.build()
+
+
+def branchy_kernel(n: int = 8):
+    """If/else with merges of both pre-existing and branch-defined vars."""
+    b = KernelBuilder("branchy", params=["n"])
+    x = b.array("x", n)
+    y = b.array("y", n)
+    with b.for_("i", 0, b.p.n) as i:
+        v = x.load(i)
+        r = b.let("r", 0)
+        with b.if_(v > 2):
+            s = b.let("s", v - 2)
+            b.set(r, s * 2)
+        with b.else_():
+            s = b.let("s", 0 - v)
+            b.set(r, s + 1)
+        y.store(i, r)
+    return b.build()
+
+
+def nested_kernel(n: int = 4):
+    """Doubly nested counted loops with an in-place array update."""
+    b = KernelBuilder("nested", params=["n", "m"])
+    grid = b.array("M", n * n)
+    with b.for_("i", 0, b.p.n) as i:
+        with b.for_("j", 0, b.p.m) as j:
+            v = grid.load(i * b.p.m + j)
+            grid.store(i * b.p.m + j, v * 2 + i + j)
+    return b.build()
+
+
+def zerotrip_kernel(n: int = 4):
+    """While loops that may run zero iterations."""
+    b = KernelBuilder("zerotrip", params=["n"])
+    x = b.array("x", n)
+    y = b.array("y", n)
+    with b.for_("i", 0, b.p.n) as i:
+        lim = x.load(i)
+        s = b.let("s", 0)
+        j = b.let("j", 0)
+        with b.while_(j < lim):
+            b.set(s, s + j)
+            b.set(j, j + 1)
+        y.store(i, s)
+    return b.build()
+
+
+def parphases_kernel(n: int = 8):
+    """Two parfors with a read-after-write dependence between them."""
+    b = KernelBuilder("parphases", params=["n"])
+    a = b.array("A", n)
+    c = b.array("B", n)
+    with b.parfor("i", 0, b.p.n) as i:
+        c.store(i, a.load(i) + 10)
+    with b.parfor("k", 0, b.p.n) as k:
+        a.store(k, c.load(k) * 2)
+    return b.build()
+
+
+def store_only_kernel(n: int = 4):
+    """Stores with constant data (exercises inject/token plumbing)."""
+    b = KernelBuilder("storeonly", params=["n"])
+    y = b.array("y", n)
+    with b.for_("i", 0, b.p.n) as i:
+        y.store(i, i * 3 + 1)
+    return b.build()
+
+
+def pointer_chase_kernel(n: int = 8):
+    """Dependent loads: next[i] chains (the classic class-A pattern)."""
+    b = KernelBuilder("chase", params=["steps"])
+    nxt = b.array("next", n)
+    out = b.array("out", 1)
+    cur = b.let("cur", 0)
+    i = b.let("i", 0)
+    with b.while_(i < b.p.steps):
+        b.set(cur, nxt.load(cur))
+        b.set(i, i + 1)
+    out.store(0, cur)
+    return b.build()
+
+
+ZOO = {
+    "dot": (dot_kernel, {"n": 8}, {"x": list(range(8)), "y": [2] * 8}),
+    "join": (
+        join_kernel,
+        {"na": 6, "nb": 6},
+        {
+            "A": [1, 3, 5, 7, 9, 11] + [0] * 10,
+            "B": [2, 3, 5, 8, 9, 12] + [0] * 10,
+        },
+    ),
+    "branchy": (branchy_kernel, {"n": 8}, {"x": [0, 1, 2, 3, 4, 5, 6, 7]}),
+    "nested": (nested_kernel, {"n": 4, "m": 4}, {"M": list(range(16))}),
+    "zerotrip": (zerotrip_kernel, {"n": 4}, {"x": [0, 3, 0, 5]}),
+    "parphases": (parphases_kernel, {"n": 8}, {"A": list(range(8))}),
+    "storeonly": (store_only_kernel, {"n": 4}, {}),
+    "chase": (
+        pointer_chase_kernel,
+        {"steps": 5},
+        {"next": [3, 0, 1, 7, 2, 4, 5, 6]},
+    ),
+}
+
+
+def zoo_instance(name: str):
+    builder, params, arrays = ZOO[name]
+    return builder(), params, arrays

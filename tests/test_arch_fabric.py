@@ -1,0 +1,113 @@
+"""Unit tests for fabric topologies (paper Sec. 4.2 / Fig. 13)."""
+
+import pytest
+
+from repro.arch.fabric import (
+    build_fabric,
+    clustered_double,
+    clustered_single,
+    monaco,
+)
+from repro.errors import ArchError
+
+
+class TestMonaco:
+    def test_paper_configuration(self):
+        fab = monaco(12, 12)
+        assert len(fab.ls_pes()) == 72  # half the PEs are LS
+        assert fab.n_ports == 18  # 3 per LS row x 6 rows
+        assert len(fab.domains) == 4  # D0..D3
+        assert [d.arbiter_hops for d in fab.domains] == [0, 1, 2, 3]
+
+    def test_alternating_rows(self):
+        fab = monaco(12, 12)
+        for y in range(12):
+            kinds = {fab.pe_at(x, y).kind for x in range(12)}
+            assert len(kinds) == 1  # rows are fully LS or fully arith
+        assert fab.ls_rows() == [1, 3, 5, 7, 9, 11]
+
+    def test_domains_partition_columns_near_memory_first(self):
+        fab = monaco(12, 12)
+        assert fab.domains[0].columns == (11, 10, 9)
+        assert fab.domains[3].columns == (2, 1, 0)
+
+    def test_d0_pes_have_direct_ports(self):
+        fab = monaco(12, 12)
+        for pe in fab.ls_pes():
+            if pe.domain == 0:
+                assert pe.direct_port is not None
+            else:
+                assert pe.direct_port is None
+
+    def test_shared_port_per_ls_row(self):
+        fab = monaco(12, 12)
+        assert set(fab.row_shared_port) == set(fab.ls_rows())
+        assert len(set(fab.row_shared_port.values())) == 6
+
+    def test_odd_rows_rejected(self):
+        with pytest.raises(ArchError):
+            monaco(11, 12)
+
+    @pytest.mark.parametrize("size", [8, 16, 24])
+    def test_scaled_sizes(self, size):
+        fab = monaco(size, size)
+        assert len(fab.ls_pes()) == size * size // 2
+        assert fab.n_ports == 3 * (size // 2)
+
+
+class TestClustered:
+    def test_cs_paper_configuration(self):
+        fab = clustered_single(12, 12)
+        assert len(fab.ls_pes()) == 72  # same LS count as Monaco
+        assert fab.n_ports == 12  # one per row
+        assert len(fab.domains[0].columns) == 1
+
+    def test_cd_paper_configuration(self):
+        fab = clustered_double(12, 12)
+        assert len(fab.ls_pes()) == 72
+        assert fab.n_ports == 24  # two per row
+        assert len(fab.domains[0].columns) == 2
+
+    def test_ls_hug_memory(self):
+        fab = clustered_single(12, 12)
+        for pe in fab.ls_pes():
+            assert pe.x >= 6  # right half only
+
+    def test_every_row_has_ls(self):
+        fab = clustered_double(12, 12)
+        assert fab.ls_rows() == list(range(12))
+
+
+class TestFabricApi:
+    def test_build_fabric_by_name(self):
+        assert build_fabric("monaco", 8, 8).name == "monaco-8x8"
+        with pytest.raises(ArchError):
+            build_fabric("torus", 8, 8)
+
+    def test_pe_lookup_errors(self):
+        fab = monaco(8, 8)
+        with pytest.raises(ArchError):
+            fab.pe_at(99, 0)
+
+    def test_preferred_slots_ordering(self):
+        fab = monaco(12, 12)
+        slots = fab.preferred_ls_slots()
+        assert slots[0].domain == 0 and slots[0].column_rank == 0
+        # First six slots: D0.c0 across the six LS rows.
+        assert [pe.column_rank for pe in slots[:6]] == [0] * 6
+        assert len({pe.y for pe in slots[:6]}) == 6
+        # Domains appear in non-decreasing order.
+        domains = [pe.domain for pe in slots]
+        assert domains == sorted(domains)
+
+    def test_describe_mentions_domains(self):
+        text = monaco(12, 12).describe()
+        assert "72 LS PEs" in text and "D0" in text
+
+    def test_pe_supports(self):
+        fab = monaco(12, 12)
+        ls = fab.ls_pes()[0]
+        arith = fab.arith_pes()[0]
+        assert ls.supports("load") and ls.supports("binop")
+        assert not arith.supports("store")
+        assert arith.supports("carry")

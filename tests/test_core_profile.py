@@ -1,0 +1,84 @@
+"""Tests for profile-guided criticality refinement."""
+
+from repro.core.criticality import analyze_criticality
+from repro.core.profile import analyze_with_profile, profile_dfg
+from repro.dfg.lower import lower_kernel
+from repro.ir.builder import KernelBuilder
+
+from kernels import zoo_instance
+
+
+def cold_branch_kernel(n=16):
+    """A load behind a rarely taken branch plus a hot unconditional load."""
+    b = KernelBuilder("coldload", params=["n"])
+    x = b.array("x", n)
+    rare = b.array("rare", n)
+    y = b.array("y", n)
+    with b.for_("i", 0, b.p.n) as i:
+        v = x.load(i, "hot")
+        r = b.let("r", 0)
+        with b.if_(v.eq(12345)):  # never true for our inputs
+            b.set(r, rare.load(i, "cold"))
+        y.store(i, v + r)
+    return b.build()
+
+
+def test_profile_counts_reflect_execution():
+    kernel, params, arrays = zoo_instance("join")
+    dfg = lower_kernel(kernel)
+    counts = profile_dfg(dfg, params, arrays)
+    loads = [n for n in dfg.nodes.values() if n.op == "load"]
+    for load in loads:
+        assert counts.get(load.nid, 0) > 0
+
+
+def test_cold_conditional_load_demoted():
+    kernel = cold_branch_kernel()
+    params = {"n": 16}
+    arrays = {"x": list(range(16)), "rare": [7] * 16}
+    dfg = lower_kernel(kernel)
+    static = analyze_criticality(dfg)
+    cold = next(
+        n.nid for n in dfg.nodes.values()
+        if n.op == "load" and n.tag == "cold"
+    )
+    hot = next(
+        n.nid for n in dfg.nodes.values()
+        if n.op == "load" and n.tag == "hot"
+    )
+    assert cold in static.class_b  # static analysis thinks it's inner-loop
+    profiled = analyze_with_profile(dfg, params, arrays)
+    assert cold in profiled.demoted
+    assert cold in profiled.report.class_c
+    assert hot in profiled.report.class_b
+    assert dfg.nodes[cold].criticality == "C"
+
+
+def test_class_a_never_changed_by_profile():
+    kernel, params, arrays = zoo_instance("join")
+    dfg = lower_kernel(kernel)
+    static_a = set(analyze_criticality(dfg).class_a)
+    profiled = analyze_with_profile(dfg, params, arrays)
+    assert set(profiled.report.class_a) == static_a
+    for nid in static_a:
+        assert dfg.nodes[nid].criticality == "A"
+
+
+def test_hot_top_level_load_promoted():
+    # A class-C load (top level, no loop) that executes as often as the
+    # hottest memory op in a kernel whose loops are tiny.
+    b = KernelBuilder("hotc", params=["n"])
+    x = b.array("x", 8)
+    y = b.array("y", 8)
+    v = x.load(0, "toplevel")  # class C statically
+    with b.for_("i", 0, 1) as i:  # single-iteration loop
+        y.store(i, x.load(i) + v)
+    dfg = lower_kernel(b.build())
+    static = analyze_criticality(dfg)
+    top = next(
+        n.nid for n in dfg.nodes.values() if n.tag == "toplevel"
+    )
+    assert top in static.class_c
+    profiled = analyze_with_profile(dfg, {"n": 8}, {"x": [1] * 8})
+    assert top in profiled.promoted
+    assert top in profiled.report.class_b

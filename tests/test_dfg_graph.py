@@ -1,0 +1,180 @@
+"""Unit tests for the DFG representation and its structural validation."""
+
+import pytest
+
+from repro.dfg.graph import DFG, ImmRef, PortRef
+from repro.errors import DFGError
+
+
+def make_dfg():
+    return DFG("t")
+
+
+def test_add_and_len():
+    dfg = make_dfg()
+    src = dfg.add("source", [])
+    dfg.add("inject", [PortRef(src)], value=ImmRef("const", 1))
+    assert len(dfg) == 2
+
+
+def test_unknown_op_rejected():
+    with pytest.raises(DFGError):
+        make_dfg().add("frobnicate", [])
+
+
+def test_immref_kinds():
+    assert ImmRef("const", 3).resolve({}) == 3
+    assert ImmRef("param", "n").resolve({"n": 9}) == 9
+    with pytest.raises(DFGError):
+        ImmRef("thing", 1)
+    with pytest.raises(DFGError):
+        ImmRef("param", "n").resolve({})
+
+
+def test_consumers_and_edges():
+    dfg = make_dfg()
+    src = dfg.add("source", [])
+    a = dfg.add(
+        "binop", [PortRef(src), ImmRef("const", 1)], opname="+"
+    )
+    b = dfg.add("binop", [PortRef(src), PortRef(a)], opname="*")
+    consumers = dfg.consumers()
+    assert (a, 0) in consumers[src]
+    assert (b, 0) in consumers[src]
+    assert (b, 1) in consumers[a]
+    assert len(dfg.edge_list()) == 3
+
+
+def test_validate_passes_on_wellformed():
+    dfg = make_dfg()
+    src = dfg.add("source", [])
+    dfg.declare_array("A", 8)
+    dfg.add("load", [PortRef(src)], array="A", has_ord=False)
+    dfg.validate()
+
+
+def test_two_sources_rejected():
+    dfg = make_dfg()
+    dfg.add("source", [])
+    dfg.add("source", [])
+    with pytest.raises(DFGError, match="multiple source"):
+        dfg.validate()
+
+
+def test_wrong_arity_rejected():
+    dfg = make_dfg()
+    src = dfg.add("source", [])
+    dfg.add("steer", [PortRef(src)], polarity=True)
+    with pytest.raises(DFGError, match="expected 2 inputs"):
+        dfg.validate()
+
+
+def test_dangling_edge_rejected():
+    dfg = make_dfg()
+    dfg.add("unop", [PortRef(999)], opname="-")
+    with pytest.raises(DFGError, match="dangling"):
+        dfg.validate()
+
+
+def test_imm_forbidden_on_cadence_ports():
+    dfg = make_dfg()
+    src = dfg.add("source", [])
+    dfg.add(
+        "carry",
+        [ImmRef("const", 0), PortRef(src), PortRef(src)],
+    )
+    with pytest.raises(DFGError, match="immediate not allowed"):
+        dfg.validate()
+
+
+def test_steer_dec_must_be_edge():
+    dfg = make_dfg()
+    src = dfg.add("source", [])
+    dfg.add("steer", [ImmRef("const", 1), PortRef(src)], polarity=True)
+    with pytest.raises(DFGError, match="immediate not allowed"):
+        dfg.validate()
+
+
+def test_all_imm_node_is_self_firing_and_rejected():
+    dfg = make_dfg()
+    dfg.add("binop", [ImmRef("const", 1), ImmRef("const", 2)], opname="+")
+    with pytest.raises(DFGError, match="self-firing"):
+        dfg.validate()
+
+
+def test_load_missing_array_attr_rejected():
+    dfg = make_dfg()
+    src = dfg.add("source", [])
+    dfg.add("load", [PortRef(src)], has_ord=False)
+    with pytest.raises(DFGError, match="missing array"):
+        dfg.validate()
+
+
+def test_load_undeclared_array_rejected():
+    dfg = make_dfg()
+    src = dfg.add("source", [])
+    dfg.add("load", [PortRef(src)], array="Z", has_ord=False)
+    with pytest.raises(DFGError, match="not declared"):
+        dfg.validate()
+
+
+def test_binop_missing_opname_rejected():
+    dfg = make_dfg()
+    src = dfg.add("source", [])
+    dfg.add("binop", [PortRef(src), PortRef(src)])
+    with pytest.raises(DFGError, match="missing opname"):
+        dfg.validate()
+
+
+def test_steer_missing_polarity_rejected():
+    dfg = make_dfg()
+    src = dfg.add("source", [])
+    dfg.add("steer", [PortRef(src), PortRef(src)])
+    with pytest.raises(DFGError, match="missing polarity"):
+        dfg.validate()
+
+
+def test_join_needs_inputs():
+    dfg = make_dfg()
+    dfg.add("join", [])
+    with pytest.raises(DFGError, match="no inputs"):
+        dfg.validate()
+
+
+def test_source_with_inputs_rejected():
+    dfg = make_dfg()
+    first = dfg.add("source", [])
+    dfg.nodes[first].inputs.append(PortRef(first))
+    with pytest.raises(DFGError, match="no inputs"):
+        dfg.validate()
+
+
+def test_array_redeclaration_size_conflict():
+    dfg = make_dfg()
+    dfg.declare_array("A", 8)
+    with pytest.raises(DFGError, match="redeclared"):
+        dfg.declare_array("A", 4)
+
+
+def test_op_histogram_and_memory_nodes():
+    dfg = make_dfg()
+    src = dfg.add("source", [])
+    dfg.declare_array("A", 8)
+    dfg.add("load", [PortRef(src)], array="A", has_ord=False)
+    dfg.add("load", [PortRef(src)], array="A", has_ord=False)
+    hist = dfg.op_histogram()
+    assert hist == {"source": 1, "load": 2}
+    assert len(dfg.memory_nodes()) == 2
+
+
+def test_port_names():
+    dfg = make_dfg()
+    src = dfg.add("source", [])
+    nid = dfg.add("carry", [PortRef(src), PortRef(src), PortRef(src)])
+    node = dfg.nodes[nid]
+    assert [node.port_name(i) for i in range(3)] == ["init", "back", "dec"]
+    dfg.declare_array("A", 4)
+    load = dfg.add(
+        "load", [PortRef(src), PortRef(src)], array="A", has_ord=True
+    )
+    assert dfg.nodes[load].port_name(1) == "ord"

@@ -1,0 +1,211 @@
+"""Unit tests for IR -> DFG lowering."""
+
+import pytest
+
+from repro.dfg.graph import ImmRef, PortRef
+from repro.dfg.interp import run_dfg
+from repro.dfg.lower import eliminate_dead, lower_kernel, mem_token_var
+from repro.errors import LoweringError
+from repro.ir.builder import KernelBuilder
+from repro.ir.interp import run_kernel
+
+from kernels import zoo_instance
+
+
+def ops_of(dfg, op):
+    return [n for n in dfg.nodes.values() if n.op == op]
+
+
+def test_constant_folding_leaves_no_const_nodes():
+    b = KernelBuilder("fold")
+    y = b.array("y", 1)
+    v = b.let("v", 2 + 3)
+    b.set(v, v * 4)
+    y.store(0, v)
+    dfg = lower_kernel(b.build())
+    # 2+3 and (2+3)*4 fold to immediates: no binops survive.
+    assert not ops_of(dfg, "binop")
+
+
+def test_cse_dedupes_identical_binops():
+    b = KernelBuilder("cse", params=["n"])
+    x = b.array("x", 8)
+    y = b.array("y", 8)
+    with b.for_("i", 0, b.p.n) as i:
+        a = x.load(i + 1)
+        c = x.load(i + 1)  # same index expression
+        y.store(i, a + c)
+    dfg = lower_kernel(b.build())
+    adds = [
+        n for n in ops_of(dfg, "binop") if n.attrs["opname"] == "+"
+    ]
+    # i+1 is CSE'd to a single node (plus the loop increment and a+c).
+    index_adds = [
+        n for n in adds if any(isinstance(i, ImmRef) for i in n.inputs)
+    ]
+    assert len(index_adds) <= 2
+
+
+def test_while_creates_carries_and_exit_steers():
+    kernel, params, arrays = zoo_instance("join")
+    dfg = lower_kernel(kernel)
+    carries = ops_of(dfg, "carry")
+    assert len(carries) >= 3  # ia, ib, cnt
+    steers = ops_of(dfg, "steer")
+    assert any(s.tag.startswith("exit:") for s in steers)
+
+
+def test_if_creates_merges():
+    kernel, params, arrays = zoo_instance("branchy")
+    dfg = lower_kernel(kernel)
+    assert ops_of(dfg, "merge")
+
+
+def test_no_carry_has_immediate_init():
+    for name in ("dot", "join", "branchy", "nested", "zerotrip"):
+        kernel, _, _ = zoo_instance(name)
+        dfg = lower_kernel(kernel)
+        for carry in ops_of(dfg, "carry"):
+            assert isinstance(carry.inputs[0], PortRef), carry.tag
+
+
+def test_loop_invariant_while_condition_rejected():
+    b = KernelBuilder("inv", params=["n"])
+    y = b.array("y", 1)
+    i = b.let("i", 0)
+    with b.while_(b.p.n > 0):  # body never changes the condition
+        b.set(i, i + 1)
+    y.store(0, i)
+    with pytest.raises(LoweringError, match="loop-invariant"):
+        lower_kernel(b.build())
+
+
+def test_constant_true_if_folds_to_taken_branch():
+    b = KernelBuilder("cfold")
+    y = b.array("y", 1)
+    with b.if_(1 < 2):
+        y.store(0, 7)
+    with b.else_():
+        y.store(0, 9)
+    dfg = lower_kernel(b.build())
+    assert len(ops_of(dfg, "store")) == 1
+    got = run_dfg(dfg)
+    assert got.memory["y"] == [7]
+
+
+def test_mem_ordering_raw_chains_stores():
+    kernel, params, arrays = zoo_instance("nested")
+    dfg = lower_kernel(kernel, mem_mode="raw")
+    stores = ops_of(dfg, "store")
+    loads = ops_of(dfg, "load")
+    assert all(s.attrs["has_ord"] for s in stores)
+    assert all(ld.attrs["has_ord"] for ld in loads)
+
+
+def test_mem_ordering_none_has_no_ord_ports():
+    kernel, params, arrays = zoo_instance("nested")
+    dfg = lower_kernel(kernel, mem_mode="none")
+    assert all(
+        not n.attrs["has_ord"]
+        for n in dfg.nodes.values()
+        if n.is_memory()
+    )
+
+
+def test_mem_ordering_readonly_arrays_unordered():
+    kernel, params, arrays = zoo_instance("dot")
+    dfg = lower_kernel(kernel, mem_mode="raw")
+    for node in dfg.memory_nodes():
+        if node.op == "load":  # x and y are never stored
+            assert not node.attrs["has_ord"]
+
+
+def test_serialize_mode_chains_loads_too():
+    kernel, params, arrays = zoo_instance("nested")
+    ref = run_kernel(kernel, params, arrays)
+    dfg = lower_kernel(kernel, mem_mode="serialize")
+    got = run_dfg(dfg, params, arrays, order="random", seed=3)
+    assert got.memory == ref
+
+
+def test_unknown_mem_mode_rejected():
+    kernel, _, _ = zoo_instance("dot")
+    with pytest.raises(LoweringError, match="memory-ordering mode"):
+        lower_kernel(kernel, mem_mode="chaos")
+
+
+def test_mem_token_var_name():
+    assert mem_token_var("A") == "__mem$A"
+
+
+def test_dce_removes_unused_computation():
+    b = KernelBuilder("dce", params=["n"])
+    x = b.array("x", 8)
+    y = b.array("y", 1)
+    dead = b.let("dead", 0)
+    with b.for_("i", 0, b.p.n) as i:
+        b.set(dead, dead + x.load(i))  # never stored
+    y.store(0, 5)
+    dfg = lower_kernel(b.build())
+    assert not ops_of(dfg, "load")
+    assert not ops_of(dfg, "carry")
+
+
+def test_dce_keeps_store_dependencies():
+    kernel, params, arrays = zoo_instance("dot")
+    dfg = lower_kernel(kernel)
+    removed = eliminate_dead(dfg)
+    assert removed == 0  # already clean after lowering
+
+
+def test_kernel_without_stores_left_intact():
+    b = KernelBuilder("nostore", params=["n"])
+    x = b.array("x", 4)
+    x.load(0)
+    dfg = lower_kernel(b.build())
+    assert len(dfg) > 0
+
+
+def test_lowered_params_recorded():
+    kernel, _, _ = zoo_instance("dot")
+    dfg = lower_kernel(kernel)
+    assert dfg.params == ["n"]
+    assert set(dfg.arrays) == {"x", "y", "out"}
+
+
+def test_loop_metadata_tracks_nesting():
+    kernel, _, _ = zoo_instance("nested")
+    dfg = lower_kernel(kernel)
+    parents = dfg.loops_parent
+    assert len(parents) == 2
+    inner = [k for k, v in parents.items() if v is not None]
+    assert len(inner) == 1
+    depths = {n.depth for n in dfg.nodes.values()}
+    assert 2 in depths  # inner-loop body nodes
+
+
+def test_every_lowered_graph_validates():
+    for name in (
+        "dot", "join", "branchy", "nested", "zerotrip", "parphases",
+        "storeonly", "chase",
+    ):
+        kernel, _, _ = zoo_instance(name)
+        dfg = lower_kernel(kernel)
+        dfg.validate()  # raises on violation
+
+
+def test_store_with_constant_operands_gets_trigger():
+    kernel, params, arrays = zoo_instance("storeonly")
+    ref = run_kernel(kernel, params, arrays)
+    dfg = lower_kernel(kernel)
+    got = run_dfg(dfg, params, arrays)
+    assert got.memory == ref
+
+
+def test_par_join_inserted_between_phases():
+    from repro.ir.transform import parallelize
+
+    kernel, params, arrays = zoo_instance("parphases")
+    dfg = lower_kernel(parallelize(kernel, 3))
+    joins = ops_of(dfg, "join")
+    assert joins, "expected a memory-token join after the first parfor"

@@ -1,0 +1,82 @@
+"""Tests for energy accounting."""
+
+import pytest
+
+from repro.arch.fabric import monaco
+from repro.arch.params import ArchParams
+from repro.core.policy import DOMAIN_UNAWARE, EFFCC
+from repro.pnr.flow import compile_once
+from repro.sim.energy import EnergyParams, EnergyReport, estimate_energy
+from repro.sim.engine import simulate
+from repro.sim.stats import SimStats
+
+from kernels import zoo_instance
+
+ARCH = ArchParams()
+
+
+def run(name="join", policy=EFFCC):
+    kernel, params, arrays = zoo_instance(name)
+    compiled = compile_once(
+        kernel, monaco(12, 12), ARCH, policy, parallelism=1
+    )
+    return simulate(compiled, params, arrays, ARCH)
+
+
+class TestCounting:
+    def test_noc_hops_counted(self):
+        result = run("dot")
+        assert result.stats.noc_hops > 0
+
+    def test_fmnoc_hops_zero_when_all_memory_in_d0(self):
+        result = run("join", policy=EFFCC)
+        # effcc puts the join's few memory ops into D0: no arbitration.
+        assert result.stats.fmnoc_hops == 0
+
+    def test_fmnoc_hops_positive_for_far_placement(self):
+        result = run("join", policy=DOMAIN_UNAWARE)
+        assert result.stats.fmnoc_hops > 0
+
+
+class TestEstimate:
+    def test_breakdown_sums_to_total(self):
+        report = estimate_energy(run("join").stats)
+        parts = (
+            report.compute
+            + report.control
+            + report.data_noc
+            + report.fabric_memory_noc
+            + report.cache
+            + report.main_memory
+        )
+        assert report.total == pytest.approx(parts)
+        assert report.total > 0
+
+    def test_data_movement_share(self):
+        report = estimate_energy(run("join").stats)
+        assert 0 < report.data_movement < report.total
+        assert "data movement" in report.summary()
+
+    def test_custom_params_scale(self):
+        stats = run("dot").stats
+        base = estimate_energy(stats)
+        doubled = estimate_energy(
+            stats, EnergyParams(pj_noc_hop=0.4)
+        )
+        assert doubled.data_noc == pytest.approx(2 * base.data_noc)
+
+    def test_empty_stats(self):
+        report = estimate_energy(SimStats())
+        assert report.total == 0.0
+        assert report.data_movement == 0.0
+
+    def test_far_placement_costs_more_movement_energy(self):
+        near = estimate_energy(run("join", EFFCC).stats)
+        far = estimate_energy(run("join", DOMAIN_UNAWARE).stats)
+        assert far.fabric_memory_noc > near.fabric_memory_noc
+
+
+def test_energy_report_defaults():
+    report = EnergyReport()
+    assert report.total == 0.0
+    assert isinstance(report.params, EnergyParams)

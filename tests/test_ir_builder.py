@@ -1,0 +1,152 @@
+"""Unit tests for the KernelBuilder DSL."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir.ast import Assign, For, If, Load, ParFor, Store, While
+from repro.ir.builder import KernelBuilder
+
+
+def test_params_namespace():
+    b = KernelBuilder("k", params=["n", "m"])
+    assert b.p.n.name == "n"
+    assert b.p.m.name == "m"
+
+
+def test_let_and_set_emit_assigns():
+    b = KernelBuilder("k")
+    v = b.let("v", 1)
+    b.set(v, v + 1)
+    b.set("v", 3)
+    kernel = b.build()
+    assert all(isinstance(s, Assign) for s in kernel.body)
+    assert [s.var for s in kernel.body] == ["v", "v", "v"]
+
+
+def test_array_load_store():
+    b = KernelBuilder("k")
+    a = b.array("A", 4)
+    v = a.load(0)
+    a.store(1, v)
+    kernel = b.build()
+    assert isinstance(kernel.body[0], Load)
+    assert isinstance(kernel.body[1], Store)
+    assert kernel.array("A").size == 4
+
+
+def test_duplicate_array_rejected():
+    b = KernelBuilder("k")
+    b.array("A", 4)
+    with pytest.raises(IRError):
+        b.array("A", 8)
+
+
+def test_unknown_array_lookup_raises():
+    b = KernelBuilder("k")
+    kernel = b.build()
+    with pytest.raises(IRError):
+        kernel.array("missing")
+
+
+def test_for_region_nesting():
+    b = KernelBuilder("k", params=["n"])
+    a = b.array("A", 16)
+    with b.for_("i", 0, b.p.n) as i:
+        with b.for_("j", 0, 4) as j:
+            a.store(i * 4 + j, i + j)
+    kernel = b.build()
+    outer = kernel.body[0]
+    assert isinstance(outer, For)
+    inner = outer.body[0]
+    assert isinstance(inner, For)
+    assert isinstance(inner.body[0], Store)
+
+
+def test_parfor_region():
+    b = KernelBuilder("k", params=["n"])
+    a = b.array("A", 8)
+    with b.parfor("i", 0, b.p.n) as i:
+        a.store(i, i)
+    assert isinstance(b.build().body[0], ParFor)
+
+
+def test_while_region():
+    b = KernelBuilder("k")
+    a = b.array("A", 8)
+    i = b.let("i", 0)
+    with b.while_(i < 4):
+        a.store(i, i)
+        b.set(i, i + 1)
+    assert isinstance(b.build().body[1], While)
+
+
+def test_if_else_attachment():
+    b = KernelBuilder("k")
+    a = b.array("A", 2)
+    x = b.let("x", 1)
+    with b.if_(x > 0):
+        a.store(0, 1)
+    with b.else_():
+        a.store(1, 1)
+    stmt = b.build().body[1]
+    assert isinstance(stmt, If)
+    assert len(stmt.then_body) == 1 and len(stmt.else_body) == 1
+
+
+def test_else_without_if_rejected():
+    b = KernelBuilder("k")
+    with pytest.raises(IRError):
+        with b.else_():
+            pass
+
+
+def test_double_else_rejected():
+    b = KernelBuilder("k")
+    x = b.let("x", 1)
+    with b.if_(x):
+        pass
+    with b.else_():
+        pass
+    with pytest.raises(IRError):
+        with b.else_():
+            pass
+
+
+def test_else_must_directly_follow_if():
+    b = KernelBuilder("k")
+    x = b.let("x", 1)
+    with b.if_(x):
+        pass
+    b.let("y", 2)
+    with pytest.raises(IRError):
+        with b.else_():
+            pass
+
+
+def test_build_with_open_region_rejected():
+    b = KernelBuilder("k", params=["n"])
+    ctx = b.for_("i", 0, b.p.n)
+    ctx.__enter__()
+    with pytest.raises(IRError):
+        b.build()
+
+
+def test_emit_after_build_rejected():
+    b = KernelBuilder("k")
+    b.build()
+    with pytest.raises(IRError):
+        b.let("x", 1)
+
+
+def test_fresh_names_are_unique():
+    b = KernelBuilder("k")
+    names = {b.fresh("t") for _ in range(100)}
+    assert len(names) == 100
+
+
+def test_load_auto_names_are_fresh():
+    b = KernelBuilder("k")
+    a = b.array("A", 4)
+    v1 = a.load(0)
+    v2 = a.load(1)
+    assert v1.name != v2.name

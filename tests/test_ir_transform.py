@@ -1,0 +1,102 @@
+"""Unit tests for the parallelization transform."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import IRError
+from repro.ir.ast import For, Par, ParFor, walk_stmts
+from repro.ir.interp import run_kernel
+from repro.ir.transform import parallelize
+
+from kernels import ZOO, zoo_instance
+
+
+def test_degree_one_turns_parfor_into_for():
+    kernel, _, _ = zoo_instance("parphases")
+    flat = parallelize(kernel, 1)
+    kinds = [type(s).__name__ for s in flat.body]
+    assert kinds == ["For", "For"]
+
+
+def test_degree_k_produces_par_blocks():
+    kernel, _, _ = zoo_instance("parphases")
+    split = parallelize(kernel, 3)
+    assert isinstance(split.body[0], Par)
+    assert len(split.body[0].blocks) == 3
+    for block in split.body[0].blocks:
+        assert isinstance(block[0], For)
+
+
+def test_worker_variables_renamed_apart():
+    kernel, _, _ = zoo_instance("parphases")
+    split = parallelize(kernel, 2)
+    block0, block1 = split.body[0].blocks
+    assert block0[0].var != block1[0].var
+    assert block0[0].var.endswith("#0")
+    assert block1[0].var.endswith("#1")
+
+
+def test_strided_partitioning_covers_range():
+    kernel, params, arrays = zoo_instance("parphases")
+    reference = run_kernel(kernel, params, arrays)
+    for degree in (2, 3, 5, 8, 16):
+        got = run_kernel(parallelize(kernel, degree), params, arrays)
+        assert got == reference, degree
+
+
+def test_degree_zero_rejected():
+    kernel, _, _ = zoo_instance("parphases")
+    with pytest.raises(IRError):
+        parallelize(kernel, 0)
+
+
+def test_inner_parfor_sequentialized():
+    from repro.ir.builder import KernelBuilder
+
+    b = KernelBuilder("nestpar", params=["n"])
+    a = b.array("A", 16)
+    with b.parfor("i", 0, 4) as i:
+        with b.parfor("j", 0, 4) as j:
+            a.store(i * 4 + j, i + j)
+    split = parallelize(b.build(), 2)
+    inner_parfors = [
+        s for s in walk_stmts(split.body) if isinstance(s, ParFor)
+    ]
+    assert not inner_parfors
+    got = run_kernel(split, {"n": 4})
+    assert got["A"] == [(i // 4) + (i % 4) for i in range(16)]
+
+
+def test_parallelize_is_pure():
+    kernel, params, arrays = zoo_instance("parphases")
+    before = run_kernel(kernel, params, arrays)
+    parallelize(kernel, 4)
+    after = run_kernel(kernel, params, arrays)
+    assert before == after
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    name=st.sampled_from(sorted(ZOO)),
+    degree=st.integers(min_value=1, max_value=8),
+)
+def test_parallelize_preserves_semantics(name, degree):
+    kernel, params, arrays = zoo_instance(name)
+    reference = run_kernel(kernel, params, arrays)
+    got = run_kernel(parallelize(kernel, degree), params, arrays)
+    assert got == reference
+
+
+def test_parfor_inside_sequential_loop():
+    from repro.ir.builder import KernelBuilder
+
+    b = KernelBuilder("steps", params=["n"])
+    a = b.array("A", 8)
+    with b.for_("t", 0, 3):
+        with b.parfor("i", 0, b.p.n) as i:
+            v = a.load(i)
+            a.store(i, v + 1)
+    kernel = b.build()
+    got = run_kernel(parallelize(kernel, 2), {"n": 8})
+    assert got["A"] == [3] * 8

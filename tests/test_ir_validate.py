@@ -1,0 +1,194 @@
+"""Unit tests for IR validation rules."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir.ast import (
+    ArraySpec,
+    Assign,
+    Const,
+    For,
+    If,
+    Kernel,
+    Load,
+    Par,
+    ParFor,
+    Store,
+    Var,
+    While,
+)
+from repro.ir.validate import validate_kernel
+
+
+def kernel_of(body, params=("n",), arrays=(ArraySpec("A", 8),)):
+    return Kernel("k", list(params), list(arrays), body)
+
+
+def test_valid_kernel_passes():
+    validate_kernel(
+        kernel_of([Assign("x", Var("n")), Store("A", Const(0), Var("x"))])
+    )
+
+
+def test_use_before_definition_rejected():
+    with pytest.raises(IRError, match="used before definition"):
+        validate_kernel(kernel_of([Assign("x", Var("y"))]))
+
+
+def test_undeclared_array_rejected():
+    with pytest.raises(IRError, match="not declared"):
+        validate_kernel(kernel_of([Load("x", "B", Const(0))]))
+
+
+def test_duplicate_array_declaration_rejected():
+    with pytest.raises(IRError, match="duplicate array"):
+        validate_kernel(
+            kernel_of([], arrays=(ArraySpec("A", 8), ArraySpec("A", 4)))
+        )
+
+
+def test_duplicate_parameter_rejected():
+    with pytest.raises(IRError, match="duplicate parameter"):
+        validate_kernel(kernel_of([], params=("n", "n")))
+
+
+def test_if_var_defined_in_one_arm_not_usable_after():
+    body = [
+        If(Var("n"), [Assign("x", Const(1))], []),
+        Assign("y", Var("x")),
+    ]
+    with pytest.raises(IRError, match="used before definition"):
+        validate_kernel(kernel_of(body))
+
+
+def test_if_var_defined_in_both_arms_usable_after():
+    body = [
+        If(Var("n"), [Assign("x", Const(1))], [Assign("x", Const(2))]),
+        Assign("y", Var("x")),
+    ]
+    validate_kernel(kernel_of(body))
+
+
+def test_while_cond_must_read_defined_vars():
+    with pytest.raises(IRError):
+        validate_kernel(kernel_of([While(Var("q"), [])]))
+
+
+def test_while_body_temp_not_defined_after():
+    body = [
+        Assign("i", Const(0)),
+        While(
+            Var("i") < Var("n"),
+            [Assign("t", Const(1)), Assign("i", Var("i") + 1)],
+        ),
+        Assign("y", Var("t")),
+    ]
+    with pytest.raises(IRError, match="used before definition"):
+        validate_kernel(kernel_of(body))
+
+
+def test_loop_carried_accumulator_usable_after():
+    body = [
+        Assign("i", Const(0)),
+        Assign("s", Const(0)),
+        While(
+            Var("i") < Var("n"),
+            [Assign("s", Var("s") + Var("i")), Assign("i", Var("i") + 1)],
+        ),
+        Store("A", Const(0), Var("s")),
+    ]
+    validate_kernel(kernel_of(body))
+
+
+def test_for_var_not_defined_after_loop():
+    body = [
+        For("i", Const(0), Var("n"), Const(1), []),
+        Assign("y", Var("i")),
+    ]
+    with pytest.raises(IRError, match="used before definition"):
+        validate_kernel(kernel_of(body))
+
+
+def test_loop_var_shadowing_rejected():
+    body = [
+        Assign("i", Const(0)),
+        For("i", Const(0), Var("n"), Const(1), []),
+    ]
+    with pytest.raises(IRError, match="shadows"):
+        validate_kernel(kernel_of(body))
+
+
+def test_nonpositive_const_step_rejected():
+    body = [For("i", Const(0), Var("n"), Const(0), [])]
+    with pytest.raises(IRError, match="non-positive step"):
+        validate_kernel(kernel_of(body))
+
+
+def test_parfor_assigning_outer_var_rejected():
+    body = [
+        Assign("acc", Const(0)),
+        ParFor(
+            "i",
+            Const(0),
+            Var("n"),
+            Const(1),
+            [Assign("acc", Var("acc") + Var("i"))],
+        ),
+    ]
+    with pytest.raises(IRError, match="assigns outer"):
+        validate_kernel(kernel_of(body))
+
+
+def test_parfor_assigning_outer_var_in_nested_region_rejected():
+    body = [
+        Assign("acc", Const(0)),
+        ParFor(
+            "i",
+            Const(0),
+            Var("n"),
+            Const(1),
+            [If(Var("i"), [Assign("acc", Const(1))], [])],
+        ),
+    ]
+    with pytest.raises(IRError, match="assigns outer"):
+        validate_kernel(kernel_of(body))
+
+
+def test_parfor_local_reuse_of_outer_name_after_local_def_ok():
+    body = [
+        ParFor(
+            "i",
+            Const(0),
+            Var("n"),
+            Const(1),
+            [Assign("t", Const(1)), Assign("t", Var("t") + 1)],
+        ),
+    ]
+    validate_kernel(kernel_of(body))
+
+
+def test_parfor_reads_of_shared_state_allowed():
+    body = [
+        Assign("base", Const(3)),
+        ParFor(
+            "i",
+            Const(0),
+            Var("n"),
+            Const(1),
+            [Store("A", Var("i"), Var("base"))],
+        ),
+    ]
+    validate_kernel(kernel_of(body))
+
+
+def test_par_blocks_validated_independently():
+    body = [
+        Par([[Assign("x", Var("missing"))]]),
+    ]
+    with pytest.raises(IRError, match="used before definition"):
+        validate_kernel(kernel_of(body))
+
+
+def test_store_value_expression_checked():
+    with pytest.raises(IRError):
+        validate_kernel(kernel_of([Store("A", Const(0), Var("zzz"))]))

@@ -1,0 +1,113 @@
+"""Unit tests for the shared scalar operation semantics."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.isa import (
+    BINARY_IMPLS,
+    COMPARISON_OPS,
+    UNARY_IMPLS,
+    apply_binop,
+    apply_unop,
+    truthy,
+)
+
+ints = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+nonzero_ints = ints.filter(lambda v: v != 0)
+
+
+class TestBinops:
+    def test_add_sub_mul(self):
+        assert apply_binop("+", 3, 4) == 7
+        assert apply_binop("-", 3, 4) == -1
+        assert apply_binop("*", -3, 4) == -12
+
+    def test_c_division_truncates_toward_zero(self):
+        assert apply_binop("//", 7, 2) == 3
+        assert apply_binop("//", -7, 2) == -3
+        assert apply_binop("//", 7, -2) == -3
+        assert apply_binop("//", -7, -2) == 3
+
+    def test_c_modulo_sign_follows_dividend(self):
+        assert apply_binop("%", 7, 3) == 1
+        assert apply_binop("%", -7, 3) == -1
+        assert apply_binop("%", 7, -3) == 1
+        assert apply_binop("%", -7, -3) == -1
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ReproError):
+            apply_binop("//", 1, 0)
+        with pytest.raises(ReproError):
+            apply_binop("%", 1, 0)
+
+    def test_true_division_is_float(self):
+        assert apply_binop("/", 1, 2) == 0.5
+
+    def test_comparisons_return_int(self):
+        assert apply_binop("<", 1, 2) == 1
+        assert apply_binop(">=", 1, 2) == 0
+        assert isinstance(apply_binop("==", 1.0, 1.0), int)
+
+    def test_min_max(self):
+        assert apply_binop("min", 3, -1) == -1
+        assert apply_binop("max", 3, -1) == 3
+
+    def test_bitwise_and_shifts(self):
+        assert apply_binop("&", 0b110, 0b011) == 0b010
+        assert apply_binop("|", 0b110, 0b011) == 0b111
+        assert apply_binop("^", 0b110, 0b011) == 0b101
+        assert apply_binop("<<", 1, 5) == 32
+        assert apply_binop(">>", 32, 5) == 1
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(ReproError):
+            apply_binop("**", 2, 3)
+
+    @given(a=ints, b=nonzero_ints)
+    def test_cdiv_cmod_identity(self, a, b):
+        quotient = apply_binop("//", a, b)
+        remainder = apply_binop("%", a, b)
+        assert quotient * b + remainder == a
+        assert abs(remainder) < abs(b)
+
+    @given(a=ints, b=ints)
+    def test_comparisons_are_boolean(self, a, b):
+        for op in ("<", "<=", ">", ">=", "==", "!="):
+            assert apply_binop(op, a, b) in (0, 1)
+
+
+class TestUnops:
+    def test_neg_abs_not(self):
+        assert apply_unop("-", 5) == -5
+        assert apply_unop("abs", -5) == 5
+        assert apply_unop("not", 0) == 1
+        assert apply_unop("not", 7) == 0
+
+    def test_unknown_unop_raises(self):
+        with pytest.raises(ReproError):
+            apply_unop("sqrt", 4)
+
+    @given(a=ints)
+    def test_double_negation(self, a):
+        assert apply_unop("-", apply_unop("-", a)) == a
+
+
+class TestTruthy:
+    def test_zero_is_false(self):
+        assert not truthy(0)
+        assert not truthy(0.0)
+
+    def test_nonzero_is_true(self):
+        assert truthy(1)
+        assert truthy(-3)
+        assert truthy(0.5)
+
+
+def test_op_tables_are_consistent():
+    assert set(COMPARISON_OPS) <= set(BINARY_IMPLS) | set(UNARY_IMPLS)
+    assert "not" in UNARY_IMPLS
+    assert not math.isnan(apply_binop("+", 1.5, 2.5))

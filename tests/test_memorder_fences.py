@@ -1,0 +1,123 @@
+"""Unit tests for the RAW/WAR memory-ordering fence construction."""
+
+from repro.dfg.interp import run_dfg
+from repro.dfg.lower import (
+    acc_token_var,
+    lower_kernel,
+    store_token_var,
+)
+from repro.ir.builder import KernelBuilder
+from repro.ir.interp import run_kernel
+
+
+def ops_of(dfg, op):
+    return [n for n in dfg.nodes.values() if n.op == op]
+
+
+def test_straight_line_store_fences_all_prior_loads_without_joins():
+    # load, load, store to the same array: the store takes both load
+    # tokens as ordering inputs directly (n-ary fence, zero join nodes).
+    b = KernelBuilder("fence")
+    a = b.array("A", 4)
+    x = a.load(0)
+    y = a.load(1)
+    a.store(2, x + y)
+    dfg = lower_kernel(b.build())
+    assert not ops_of(dfg, "join")
+    store = ops_of(dfg, "store")[0]
+    # idx, value, store-token(source), and two load tokens.
+    assert store.attrs["ord_count"] == 3
+
+
+def test_war_hazard_resolved_under_adversarial_order():
+    # Load A[1], then store A[1]: the store must wait for the load.
+    b = KernelBuilder("war")
+    a = b.array("A", 4)
+    out = b.array("out", 1)
+    v = a.load(1)
+    a.store(1, 999)
+    out.store(0, v)
+    kernel = b.build()
+    reference = run_kernel(kernel, {}, {"A": [5, 7, 9, 11]})
+    assert reference["out"] == [7]
+    dfg = lower_kernel(kernel)
+    for seed in range(8):
+        got = run_dfg(dfg, {}, {"A": [5, 7, 9, 11]}, order="random",
+                      seed=seed)
+        assert got.memory == reference
+
+
+def test_waw_hazard_stores_stay_ordered():
+    b = KernelBuilder("waw")
+    a = b.array("A", 2)
+    a.store(0, 1)
+    a.store(0, 2)
+    dfg = lower_kernel(b.build())
+    for order in ("fifo", "lifo", "random"):
+        got = run_dfg(dfg, order=order, seed=3)
+        assert got.memory["A"][0] == 2
+
+
+def test_loads_between_stores_share_the_same_store_token():
+    # Loads after one store are unordered among themselves: both take the
+    # same store token, not a chain.
+    b = KernelBuilder("parallel_loads")
+    a = b.array("A", 4)
+    out = b.array("out", 2)
+    a.store(0, 5)
+    x = a.load(0)
+    y = a.load(1)
+    out.store(0, x)
+    out.store(1, y)
+    dfg = lower_kernel(b.build())
+    loads = ops_of(dfg, "load")
+    a_loads = [n for n in loads if n.attrs["array"] == "A"]
+    stores = [
+        n for n in ops_of(dfg, "store") if n.attrs["array"] == "A"
+    ]
+    ord_sources = {
+        inp.src
+        for n in a_loads
+        for i, inp in enumerate(n.inputs)
+        if n.port_name(i) == "ord"
+        for inp in [inp]
+    }
+    assert ord_sources == {stores[0].nid}
+
+
+def test_loop_boundary_flattens_pending_tokens_into_join():
+    # Loads inside a loop body accumulate; the back-edge needs a single
+    # token, so a join appears at the loop boundary.
+    b = KernelBuilder("loopfence", params=["n"])
+    a = b.array("A", 8)
+    with b.for_("i", 0, b.p.n) as i:
+        x = a.load(i)
+        y = a.load((i + 1) % 8)
+        a.store(i, x + y)
+    dfg = lower_kernel(b.build())
+    # Store consumes the loads' tokens directly within the iteration, so
+    # no join is needed here; verify execution is order-independent.
+    reference = run_kernel(b.build(), {"n": 8}, {"A": list(range(8))})
+    for order in ("fifo", "lifo", "random"):
+        got = run_dfg(
+            dfg, {"n": 8}, {"A": list(range(8))}, order=order, seed=1
+        )
+        assert got.memory == reference
+
+
+def test_trailing_loads_tokens_are_dead_code_eliminated():
+    b = KernelBuilder("trailing")
+    a = b.array("A", 4)
+    out = b.array("out", 1)
+    a.store(0, 3)
+    v = a.load(0)  # load after the last store: token never consumed
+    out.store(0, v)
+    dfg = lower_kernel(b.build())
+    assert not ops_of(dfg, "join")
+    got = run_dfg(dfg)
+    assert got.memory["out"] == [3]
+
+
+def test_token_var_names():
+    assert store_token_var("A") == "__memst$A"
+    assert acc_token_var("A") == "__memacc$A"

@@ -1,0 +1,126 @@
+"""Tests for program region splitting and multi-bitstream execution."""
+
+import pytest
+
+from repro.arch.fabric import monaco
+from repro.arch.params import ArchParams
+from repro.core.policy import EFFCC
+from repro.errors import PnRError
+from repro.ir.builder import KernelBuilder
+from repro.ir.interp import run_kernel
+from repro.pnr.regions import (
+    SPILL_ARRAY,
+    compile_region_program,
+    split_kernel,
+)
+from repro.sim.regions import simulate_regions
+from repro.workloads import make_workload
+
+ARCH = ArchParams()
+
+
+def multiphase_kernel(n=8, phases=4):
+    """Several top-level parfor phases with a scalar crossing regions."""
+    b = KernelBuilder("phases", params=["n"])
+    a = b.array("A", n)
+    c = b.array("B", n)
+    bias = b.let("bias", b.p.n * 2)  # scalar live across all phases
+    for p in range(phases):
+        src, dst = (a, c) if p % 2 == 0 else (c, a)
+        with b.parfor(f"i{p}", 0, b.p.n) as i:
+            dst.store(i, src.load(i) + bias + p)
+    total = b.let("total", a.load(0) + c.load(0))
+    a.store(0, total)
+    return b.build()
+
+
+class TestSplitting:
+    def test_small_kernel_single_region(self):
+        kernel = multiphase_kernel(phases=1)
+        program = split_kernel(kernel, monaco(12, 12))
+        assert len(program) == 1
+        assert program.regions[0].live_in == []
+        assert program.regions[0].spills == {}
+
+    def test_oversized_kernel_splits(self):
+        kernel = multiphase_kernel(phases=4)
+        program = split_kernel(kernel, monaco(6, 6))
+        assert len(program) >= 2
+        # The bias scalar crosses region boundaries: spilled once,
+        # received by later regions.
+        assert "bias" in program.spill_slots
+        assert "bias" in program.regions[0].spills
+        assert any(
+            "bias" in region.live_in for region in program.regions[1:]
+        )
+
+    def test_region_kernels_validate_and_declare_spill(self):
+        kernel = multiphase_kernel(phases=4)
+        program = split_kernel(kernel, monaco(6, 6))
+        for region in program.regions:
+            names = region.kernel.array_names()
+            assert names[-1] == SPILL_ARRAY
+            assert names[:-1] == kernel.array_names()
+
+    def test_unsplittable_statement_raises(self):
+        inst = make_workload("mergesort", scale="tiny")
+        # mergesort is one top-level loop: cannot split further.
+        with pytest.raises(PnRError, match="does not fit"):
+            split_kernel(inst.kernel, monaco(4, 4))
+
+
+class TestExecution:
+    def test_multi_region_result_matches_reference(self):
+        kernel = multiphase_kernel(phases=4)
+        params = {"n": 8}
+        arrays = {"A": list(range(8))}
+        reference = run_kernel(kernel, params, arrays)
+        compiled = compile_region_program(
+            kernel, monaco(6, 6), ARCH, EFFCC, seed=1
+        )
+        assert len(compiled) >= 2
+        result = simulate_regions(compiled, params, arrays, ARCH)
+        assert result.memory["A"] == reference["A"]
+        assert result.memory["B"] == reference["B"]
+
+    def test_total_cycles_include_reconfiguration(self):
+        kernel = multiphase_kernel(phases=4)
+        params = {"n": 8}
+        arrays = {"A": list(range(8))}
+        compiled = compile_region_program(
+            kernel, monaco(6, 6), ARCH, EFFCC, seed=1
+        )
+        result = simulate_regions(
+            compiled, params, arrays, ARCH, reconfig_cycles=1000
+        )
+        assert result.total_cycles == (
+            sum(result.region_cycles) + 1000 * (result.regions - 1)
+        )
+
+    def test_single_region_program_matches_plain_simulation(self):
+        from repro.pnr.flow import compile_kernel
+        from repro.sim.engine import simulate
+
+        inst = make_workload("spmv", scale="tiny")
+        compiled = compile_region_program(
+            inst.kernel, monaco(12, 12), ARCH, EFFCC, seed=1
+        )
+        assert len(compiled) == 1
+        result = simulate_regions(compiled, inst.params, inst.arrays, ARCH)
+        inst.check(result.memory)
+
+    def test_workload_on_small_fabric_via_regions(self):
+        # ic does not fit an 10x10 fabric as one bitstream; regions
+        # make it runnable.
+        inst = make_workload("ic", scale="tiny")
+        fabric = monaco(10, 10)
+        with pytest.raises(PnRError):
+            from repro.pnr.flow import compile_kernel
+
+            compile_kernel(inst.kernel, fabric, ARCH, EFFCC)
+        compiled = compile_region_program(
+            inst.kernel, fabric, ARCH, EFFCC, seed=1
+        )
+        assert len(compiled) >= 2
+        result = simulate_regions(compiled, inst.params, inst.arrays, ARCH)
+        inst.check(result.memory)

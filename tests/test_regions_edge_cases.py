@@ -1,0 +1,107 @@
+"""Edge cases for region splitting and execution."""
+
+import pytest
+
+from repro.arch.fabric import monaco
+from repro.arch.params import ArchParams
+from repro.core.policy import DOMAIN_UNAWARE, EFFCC
+from repro.ir.builder import KernelBuilder
+from repro.ir.interp import run_kernel
+from repro.pnr.regions import (
+    SPILL_WORDS,
+    compile_region_program,
+    split_kernel,
+)
+from repro.sim.regions import simulate_regions
+from repro.sim.upea import UniformFrontend
+
+ARCH = ArchParams()
+
+
+def chain_kernel(phases=6, n=8):
+    """Phases where each consumes the previous phase's scalar result."""
+    b = KernelBuilder("chain", params=["n"])
+    data = b.array("D", n)
+    running = b.let("running", 0)
+    for p in range(phases):
+        acc = b.let(f"acc{p}", running)
+        with b.for_(f"i{p}", 0, b.p.n) as i:
+            b.set(acc, acc + data.load(i) + p)
+        b.set(running, acc)
+        data.store(0, running)
+    return b.build()
+
+
+def test_scalar_chain_spills_through_every_boundary():
+    kernel = chain_kernel()
+    params = {"n": 8}
+    arrays = {"D": list(range(8))}
+    reference = run_kernel(kernel, params, arrays)
+    program = split_kernel(kernel, monaco(6, 6))
+    assert len(program) >= 3
+    assert "running" in program.spill_slots
+    compiled = compile_region_program(kernel, monaco(6, 6), ARCH, seed=2)
+    result = simulate_regions(compiled, params, arrays, ARCH)
+    assert result.memory["D"] == reference["D"]
+
+
+def test_regions_run_under_baseline_frontends():
+    kernel = chain_kernel(phases=4)
+    params = {"n": 8}
+    arrays = {"D": list(range(8))}
+    reference = run_kernel(kernel, params, arrays)
+    compiled = compile_region_program(kernel, monaco(6, 6), ARCH, seed=2)
+    result = simulate_regions(
+        compiled, params, arrays, ARCH,
+        frontend_factory=lambda f, a: UniformFrontend(4),
+    )
+    assert result.memory["D"] == reference["D"]
+
+
+def test_regions_respect_policy():
+    kernel = chain_kernel(phases=4)
+    compiled = compile_region_program(
+        kernel, monaco(6, 6), ARCH, policy=DOMAIN_UNAWARE, seed=2
+    )
+    assert all(ck.policy is DOMAIN_UNAWARE for ck in compiled.compiled)
+
+
+def test_region_stats_collected_per_launch():
+    kernel = chain_kernel(phases=4)
+    compiled = compile_region_program(kernel, monaco(6, 6), ARCH, seed=2)
+    result = simulate_regions(
+        compiled, {"n": 8}, {"D": list(range(8))}, ARCH
+    )
+    assert len(result.region_stats) == result.regions
+    assert all(s.system_cycles > 0 for s in result.region_stats)
+    assert result.regions == len(compiled)
+
+
+def test_spill_area_exhaustion_detected():
+    b = KernelBuilder("spilly", params=["n"])
+    data = b.array("D", 4)
+    names = []
+    # More long-lived scalars than the spill area holds.
+    for i in range(SPILL_WORDS + 2):
+        names.append(b.let(f"s{i}", i))
+    # A fabric-filling loop per scalar forces one region per few stmts.
+    total = b.let("total", 0)
+    for i, var in enumerate(names):
+        with b.for_(f"i{i}", 0, b.p.n) as ix:
+            b.set(total, total + data.load(ix % 4))
+        b.set(total, total + var)
+    data.store(0, total)
+    kernel = b.build()
+    fabric = monaco(4, 4)
+    with pytest.raises(Exception):
+        # Either the statements don't fit individually or the spill area
+        # overflows; both are PnR failures.
+        split_kernel(kernel, fabric)
+
+
+def test_tiny_single_statement_region_ok():
+    b = KernelBuilder("one", params=["n"])
+    y = b.array("y", 4)
+    y.store(0, b.p.n * 2)
+    program = split_kernel(b.build(), monaco(4, 4))
+    assert len(program) == 1

@@ -1,0 +1,123 @@
+"""Tests for the eager select (ternary) expression and DFG op."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.fabric import monaco
+from repro.arch.params import ArchParams
+from repro.core.policy import EFFCC
+from repro.dfg.interp import run_dfg
+from repro.dfg.lower import lower_kernel
+from repro.ir.ast import select
+from repro.ir.builder import KernelBuilder
+from repro.ir.interp import run_kernel
+from repro.ir.pretty import format_expr
+from repro.ir.transform import parallelize
+from repro.pnr.flow import compile_once
+from repro.sim.engine import simulate
+
+
+def clamp_kernel(n=8):
+    """Branch-free clamp via select (the common dataflow idiom)."""
+    b = KernelBuilder("clampsel", params=["n", "lo", "hi"])
+    x = b.array("x", n)
+    y = b.array("y", n)
+    with b.parfor("i", 0, b.p.n) as i:
+        v = x.load(i)
+        clamped = select(v < b.p.lo, b.p.lo, select(v > b.p.hi, b.p.hi, v))
+        y.store(i, clamped)
+    return b.build()
+
+
+PARAMS = {"n": 8, "lo": 0, "hi": 5}
+ARRAYS = {"x": [-3, 0, 2, 5, 9, 4, -1, 7]}
+EXPECTED = [0, 0, 2, 5, 5, 4, 0, 5]
+
+
+def test_ir_interpreter_semantics():
+    got = run_kernel(clamp_kernel(), PARAMS, ARRAYS)
+    assert got["y"] == EXPECTED
+
+
+def test_lowering_uses_select_nodes_not_merges():
+    dfg = lower_kernel(clamp_kernel())
+    ops = dfg.op_histogram()
+    assert ops.get("select", 0) == 2
+    assert "merge" not in ops  # no control flow introduced
+
+
+def test_dfg_interpreter_matches():
+    dfg = lower_kernel(clamp_kernel())
+    for order in ("fifo", "lifo", "random"):
+        got = run_dfg(dfg, PARAMS, ARRAYS, order=order, seed=3)
+        assert got.memory["y"] == EXPECTED
+
+
+def test_timed_simulation_matches():
+    compiled = compile_once(
+        clamp_kernel(), monaco(12, 12), ArchParams(), EFFCC, parallelism=2
+    )
+    result = simulate(compiled, PARAMS, ARRAYS, ArchParams())
+    assert result.memory["y"] == EXPECTED
+
+
+def test_constant_condition_folds():
+    b = KernelBuilder("fold")
+    y = b.array("y", 1)
+    y.store(0, select(1 < 2, 7, 9))
+    dfg = lower_kernel(b.build())
+    assert "select" not in dfg.op_histogram()
+    assert run_dfg(dfg).memory["y"] == [7]
+
+
+def test_select_in_loop_condition_context():
+    # select feeding a carried variable inside a while loop.
+    b = KernelBuilder("gcd", params=["a", "b"])
+    out = b.array("out", 1)
+    x = b.let("x", b.p.a)
+    yv = b.let("y", b.p.b)
+    with b.while_(yv.ne(0)):
+        r = b.let("r", x % yv)
+        b.set(x, yv)
+        b.set(yv, r)
+    out.store(0, x)
+    kernel = b.build()
+    got = run_kernel(kernel, {"a": 48, "b": 36})
+    assert got["out"] == [12]
+    dfg = lower_kernel(kernel)
+    assert run_dfg(dfg, {"a": 48, "b": 36}).memory["out"] == [12]
+
+
+def test_parallelize_renames_select_operands():
+    kernel = clamp_kernel()
+    split = parallelize(kernel, 3)
+    got = run_kernel(split, PARAMS, ARRAYS)
+    assert got["y"] == EXPECTED
+    dfg = lower_kernel(split)
+    assert run_dfg(dfg, PARAMS, ARRAYS).memory["y"] == EXPECTED
+
+
+def test_pretty_print():
+    expr = select(1, 2, 3)
+    assert format_expr(expr) == "select(1, 2, 3)"
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=st.lists(
+        st.integers(-20, 20), min_size=8, max_size=8
+    ),
+    lo=st.integers(-5, 0),
+    hi=st.integers(1, 6),
+)
+def test_clamp_property(values, lo, hi):
+    params = {"n": 8, "lo": lo, "hi": hi}
+    arrays = {"x": values}
+    expected = [min(max(v, lo), hi) for v in values]
+    got = run_kernel(clamp_kernel(), params, arrays)
+    assert got["y"] == expected
+    dfg = lower_kernel(clamp_kernel())
+    assert run_dfg(dfg, params, arrays, order="random").memory[
+        "y"
+    ] == expected

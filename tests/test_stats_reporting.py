@@ -1,0 +1,77 @@
+"""Unit tests for statistics containers and their reporting helpers."""
+
+import pytest
+
+from repro.sim.memsys import MemStats
+from repro.sim.stats import LatencyAccumulator, SimStats
+
+
+class TestLatencyAccumulator:
+    def test_streaming_mean(self):
+        acc = LatencyAccumulator()
+        for value in (2, 4, 6):
+            acc.add(value)
+        assert acc.count == 3
+        assert acc.mean == pytest.approx(4.0)
+
+    def test_empty_mean_is_zero(self):
+        assert LatencyAccumulator().mean == 0.0
+
+
+class TestSimStats:
+    def make(self):
+        stats = SimStats(clock_divider=2)
+        stats.system_cycles = 100
+        stats.firings = {"binop": 30, "load": 10, "store": 5}
+        return stats
+
+    def test_fabric_cycles(self):
+        assert self.make().fabric_cycles == 50
+
+    def test_total_firings_and_ipc(self):
+        stats = self.make()
+        assert stats.total_firings == 45
+        assert stats.ipc == pytest.approx(45 / 50)
+
+    def test_ipc_zero_without_cycles(self):
+        assert SimStats().ipc == 0.0
+
+    def test_record_load_buckets_by_class_and_domain(self):
+        stats = SimStats()
+        stats.record_load("A", 0, 4)
+        stats.record_load("A", 0, 6)
+        stats.record_load("B", 2, 10)
+        stats.record_load("C", None, 3)
+        assert stats.load_latency["A"].mean == pytest.approx(5.0)
+        assert stats.domain_latency[0].count == 2
+        assert stats.domain_latency[2].mean == pytest.approx(10.0)
+        assert None not in stats.domain_latency
+
+    def test_summary_includes_key_numbers(self):
+        stats = self.make()
+        stats.record_load("A", 0, 4)
+        text = stats.summary()
+        assert "100 system cycles" in text
+        assert "divider 2" in text
+        assert "A:4.0" in text
+
+
+class TestMemStats:
+    def test_record_service_counts(self):
+        from repro.dfg.ops import MemRequest
+        from repro.sim.memsys import RequestRecord
+
+        stats = MemStats()
+        record = RequestRecord(
+            nid=1,
+            seq=1,
+            request=MemRequest("load", "a", 0),
+            address=0,
+            pe_coord=(0, 0),
+            issue_cycle=0,
+        )
+        record.hit = True
+        record.serve_cycle = 5
+        stats.record_service(record, enqueued=3)
+        assert stats.loads == 1 and stats.hits == 1
+        assert stats.bank_wait_cycles == 2
