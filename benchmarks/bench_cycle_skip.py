@@ -1,0 +1,107 @@
+"""Wall-clock effect of the event-driven cycle-skipping scheduler.
+
+Cycle counts and stats are bit-identical with skipping on or off (that is
+the contract ``tests/test_cycle_skip.py`` pins); this benchmark measures
+the *time* the equivalence buys on a memory-latency-bound configuration —
+spmspv with the cache disabled and main memory at 256 system cycles,
+where the per-cycle loop burns ~90% of its iterations ticking through
+idle latency gaps. Acceptance floor: >= 3x.
+"""
+
+import time
+
+from conftest import BENCH_SCALE, save_result
+from repro.arch.fabric import monaco
+from repro.arch.params import ArchParams, MemoryParams, SimParams
+from repro.core.policy import EFFCC
+from repro.exp.runner import PAPER_DIVIDER, compile_cached
+from repro.sim.engine import simulate
+from repro.workloads.registry import make_workload
+
+#: Latency-bound memory system: no cache, slow main memory.
+LATENCY_BOUND = MemoryParams(cache_lines=0, memory_cycles=256)
+
+
+def _arch(cycle_skip: bool) -> ArchParams:
+    return ArchParams(
+        memory=LATENCY_BOUND, sim=SimParams(cycle_skip=cycle_skip)
+    )
+
+
+def _run(compiled, instance, arch):
+    arrays = {name: list(data) for name, data in instance.arrays.items()}
+    start = time.perf_counter()
+    result = simulate(
+        compiled, instance.params, arrays, arch, divider=PAPER_DIVIDER
+    )
+    elapsed = time.perf_counter() - start
+    instance.check(result.memory)
+    return result, elapsed
+
+
+def test_cycle_skip_speedup(benchmark):
+    instance = make_workload("spmspv", scale=BENCH_SCALE)
+    compiled = compile_cached(instance, monaco(12, 12), _arch(True))
+    # The benchmarked quantity is the skip-on run; the per-cycle loop is
+    # timed alongside it for the speedup table.
+    on, on_s = benchmark.pedantic(
+        lambda: _run(compiled, instance, _arch(True)),
+        rounds=1,
+        iterations=1,
+    )
+    off, off_s = _run(compiled, instance, _arch(False))
+
+    assert on.stats == off.stats, "skip must be bit-identical"
+    assert on.memory == off.memory
+    speedup = off_s / on_s
+    skipped = on.stats.skipped_cycles / off.stats.executed_cycles
+    lines = [
+        "cycle-skip micro-benchmark "
+        "(spmspv, cache off, 256-cycle memory, scale=small)",
+        f"  system cycles     {on.stats.system_cycles:>10,d}  "
+        "(identical on/off)",
+        f"  per-cycle loop    {off_s:>9.2f}s  "
+        f"({off.stats.executed_cycles:,d} executed cycles)",
+        f"  event-driven      {on_s:>9.2f}s  "
+        f"({on.stats.executed_cycles:,d} executed, "
+        f"{on.stats.skipped_cycles:,d} skipped = {skipped:.0%})",
+        f"  wall-clock speedup {speedup:>7.1f}x  (acceptance floor: 3x)",
+    ]
+    save_result("cycle_skip", "\n".join(lines))
+    assert speedup >= 3.0, f"expected >=3x, got {speedup:.2f}x"
+
+
+def test_compile_cache_warm_vs_cold(benchmark, tmp_path):
+    """The persistent cache turns PnR into a disk read on re-invocation."""
+    from repro.exp.cache import CompileCache
+    from repro.pnr.flow import compile_kernel
+
+    instance = make_workload("spmspv", scale=BENCH_SCALE)
+    fabric = monaco(12, 12)
+    arch = ArchParams()
+
+    def compile_with(cache):
+        key = ("bench-cache", instance.name, fabric.name, arch.noc_tracks)
+        start = time.perf_counter()
+        cache.get_or_compile(
+            key,
+            lambda: compile_kernel(
+                instance.kernel, fabric, arch, policy=EFFCC, seed=0
+            ),
+        )
+        return time.perf_counter() - start
+
+    cold_s = compile_with(CompileCache(tmp_path))
+    warm_cache = CompileCache(tmp_path)  # fresh instance = fresh process
+    warm_s = benchmark.pedantic(
+        lambda: compile_with(warm_cache), rounds=1, iterations=1
+    )
+    assert warm_cache.disk_hits == 1
+    save_result(
+        "compile_cache",
+        "persistent compile cache (spmspv PnR, scale=small)\n"
+        f"  cold (place-and-route) {cold_s:>8.2f}s\n"
+        f"  warm (disk pickle)     {warm_s:>8.2f}s\n"
+        f"  speedup                {cold_s / warm_s:>7.0f}x",
+    )
+    assert warm_s < cold_s

@@ -6,6 +6,8 @@ Commands:
 * ``fabric`` — draw a fabric topology with its NUPEA domains;
 * ``run`` — compile and simulate one workload on one configuration;
 * ``figure`` — regenerate one of the paper's evaluation figures;
+* ``sweep`` — run a (workload x config x seed) sweep, optionally across
+  worker processes sharing a persistent compile cache;
 * ``table1`` — regenerate the workload-inventory table;
 * ``dse`` — run the LS-PE placement design-space exploration.
 """
@@ -96,6 +98,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--energy", action="store_true", help="print the energy estimate"
     )
+    p_run.add_argument(
+        "--no-cycle-skip", action="store_true",
+        help="disable the event-driven cycle-skipping scheduler "
+        "(results are bit-identical either way; this is the A/B knob)",
+    )
 
     p_fig = sub.add_parser(
         "figure", help="regenerate one evaluation figure"
@@ -105,6 +112,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument(
         "--workloads", nargs="*", default=None,
         help="subset of workloads (fig11/12/14/15 only)",
+    )
+    p_fig.add_argument(
+        "--jobs", "-j", type=int, default=1,
+        help="worker processes for the simulation sweep (fig11 only)",
+    )
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="run a (workload x config x seed) sweep, optionally parallel",
+    )
+    p_sweep.add_argument(
+        "--workloads", nargs="*", default=["spmspv", "dmv"],
+        help="workloads to sweep (default: spmspv dmv)",
+    )
+    p_sweep.add_argument(
+        "--configs", nargs="*", default=["ideal", "upea2", "numa2", "monaco"],
+        help="configs: monaco | ideal | upeaN | numaN",
+    )
+    p_sweep.add_argument("--scale", default="small")
+    p_sweep.add_argument(
+        "--seeds", nargs="*", type=int, default=[0],
+        help="input seeds (one run per workload x config x seed)",
+    )
+    p_sweep.add_argument(
+        "--jobs", "-j", type=int, default=1,
+        help="worker processes (<=1 runs in-process)",
+    )
+    p_sweep.add_argument(
+        "--cache-dir", default=None,
+        help="persistent compile-cache directory shared across workers "
+        "(default: the user cache dir; see repro.exp.cache)",
     )
 
     p_table = sub.add_parser("table1", help="regenerate Table 1")
@@ -146,8 +184,13 @@ def cmd_fabric(args) -> int:
 
 
 def cmd_run(args) -> int:
+    from repro.arch.params import SimParams
+
     instance = make_workload(args.workload, scale=args.scale, seed=args.seed)
-    arch = ArchParams(noc_tracks=args.tracks)
+    arch = ArchParams(
+        noc_tracks=args.tracks,
+        sim=SimParams(cycle_skip=not args.no_cycle_skip),
+    )
     fabric = build_fabric(args.topology, args.rows, args.cols)
     policy = get_policy(args.policy)
     compiled = compile_cached(
@@ -176,7 +219,32 @@ def cmd_figure(args) -> int:
     kwargs = {"scale": args.scale}
     if args.workloads and args.name in ("fig11", "fig12", "fig14", "fig15"):
         kwargs["workloads"] = args.workloads
+    if args.jobs > 1 and args.name == "fig11":
+        kwargs["jobs"] = args.jobs
     print(format_figure(fig(**kwargs)))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from repro.exp.cache import default_cache_dir
+    from repro.exp.runner import run_parallel
+
+    configs = [_config_for(name) for name in args.configs]
+    cache_dir = args.cache_dir or default_cache_dir()
+    results = run_parallel(
+        args.workloads,
+        configs,
+        scale=args.scale,
+        seeds=tuple(args.seeds),
+        max_workers=args.jobs,
+        cache_dir=cache_dir,
+    )
+    width = max(len(w) for w in args.workloads)
+    for (workload, config, seed), run in sorted(results.items()):
+        print(
+            f"{workload:{width}s} {config:12s} seed={seed} "
+            f"{run.cycles:>10d} cycles (output verified)"
+        )
     return 0
 
 
@@ -231,6 +299,7 @@ COMMANDS = {
     "fabric": cmd_fabric,
     "run": cmd_run,
     "figure": cmd_figure,
+    "sweep": cmd_sweep,
     "table1": cmd_table1,
     "dse": cmd_dse,
     "regions": cmd_regions,

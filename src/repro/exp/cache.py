@@ -1,31 +1,130 @@
-"""Compile cache: PnR is deterministic, so share results across figures."""
+"""Compile cache: PnR is deterministic, so share results across figures.
+
+Two layers:
+
+* an in-process dict (always on) — one compile per key per process;
+* an optional on-disk pickle store — compiled kernels survive across
+  benchmark invocations and are shared between the parallel harness's
+  worker processes, so a (workload, fabric, policy, parallelism, seed)
+  point is placed-and-routed once per machine, not once per process.
+
+Disk entries are keyed by a digest of ``(CACHE_SCHEMA_VERSION, key)``;
+bump :data:`CACHE_SCHEMA_VERSION` whenever the pickled layout of
+:class:`~repro.pnr.result.CompiledKernel` (or anything it references)
+changes, and stale entries are simply never looked up again. Writes are
+atomic (temp file + ``os.replace``) so concurrent workers racing on the
+same key at worst compile twice — never read a torn pickle.
+"""
 
 from __future__ import annotations
 
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+
 from repro.pnr.result import CompiledKernel
+
+#: Bump when the pickled CompiledKernel layout changes; old on-disk
+#: entries become unreachable (different digest) instead of unpicklable.
+CACHE_SCHEMA_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """Where the on-disk layer lives unless told otherwise.
+
+    ``REPRO_COMPILE_CACHE`` overrides; the fallback is a per-user cache
+    directory so repeated CLI/benchmark invocations share PnR work.
+    """
+    env = os.environ.get("REPRO_COMPILE_CACHE")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME", os.path.expanduser("~/.cache"))
+    return Path(xdg) / "repro-nupea" / "compiled"
 
 
 class CompileCache:
     """Memoizes compiled kernels by an explicit configuration key."""
 
-    def __init__(self):
+    def __init__(self, disk_dir: str | os.PathLike | None = None):
         self._store: dict[tuple, CompiledKernel] = {}
         self.hits = 0
         self.misses = 0
+        self.disk_hits = 0
+        self.disk_dir: Path | None = Path(disk_dir) if disk_dir else None
+
+    # -- disk layer --------------------------------------------------------
+
+    def enable_disk(self, path: str | os.PathLike | None = None) -> Path:
+        """Turn on the persistent layer (idempotent); returns its dir."""
+        self.disk_dir = Path(path) if path else default_cache_dir()
+        return self.disk_dir
+
+    def disable_disk(self) -> None:
+        self.disk_dir = None
+
+    def _path_for(self, key: tuple) -> Path:
+        payload = repr((CACHE_SCHEMA_VERSION, key)).encode()
+        digest = hashlib.sha256(payload).hexdigest()
+        return self.disk_dir / f"{digest}.pkl"
+
+    def _disk_load(self, key: tuple) -> CompiledKernel | None:
+        path = self._path_for(key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            return pickle.loads(blob)
+        except Exception:
+            # Torn/stale entry: drop it and recompile.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def _disk_store(self, key: tuple, compiled: CompiledKernel) -> None:
+        self.disk_dir.mkdir(parents=True, exist_ok=True)
+        path = self._path_for(key)
+        fd, tmp = tempfile.mkstemp(dir=self.disk_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(compiled, handle, pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -- lookup ------------------------------------------------------------
 
     def get_or_compile(self, key: tuple, thunk) -> CompiledKernel:
         if key in self._store:
             self.hits += 1
             return self._store[key]
+        if self.disk_dir is not None:
+            compiled = self._disk_load(key)
+            if compiled is not None:
+                self.disk_hits += 1
+                self._store[key] = compiled
+                return compiled
         self.misses += 1
         compiled = thunk()
         self._store[key] = compiled
+        if self.disk_dir is not None:
+            self._disk_store(key, compiled)
         return compiled
 
     def clear(self) -> None:
+        """Drop the in-memory layer and counters (disk entries remain)."""
         self._store.clear()
         self.hits = 0
         self.misses = 0
+        self.disk_hits = 0
 
 
 #: Process-wide cache used by the experiment harness and benchmarks.

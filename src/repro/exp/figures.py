@@ -93,8 +93,14 @@ def fig11(
     seed: int = 0,
     workloads=None,
     arch=None,
+    jobs: int = 1,
 ) -> FigureResult:
-    """Monaco vs Ideal / UPEA2 / NUMA-UPEA2 across workloads (Fig. 11)."""
+    """Monaco vs Ideal / UPEA2 / NUMA-UPEA2 across workloads (Fig. 11).
+
+    ``jobs > 1`` fans the (workload x config) sweep out over worker
+    processes via :func:`repro.exp.runner.run_parallel`; rows are
+    bit-identical to the serial sweep (the simulator is deterministic).
+    """
     arch = arch or ArchParams()
     fabric = monaco(12, 12)
     configs = primary_configs()
@@ -103,15 +109,37 @@ def fig11(
         "Execution time normalized to Monaco (shorter is faster)",
         [c.name for c in configs],
     )
-    for name in _workload_list(workloads):
-        instance = make_workload(name, scale=scale, seed=seed)
-        compiled = compile_cached(
-            instance, fabric, arch, policy=EFFCC, seed=seed
+    names = _workload_list(workloads)
+    if jobs > 1:
+        from repro.exp.cache import GLOBAL_CACHE
+        from repro.exp.runner import run_parallel
+
+        runs = run_parallel(
+            names,
+            configs,
+            scale=scale,
+            seeds=(seed,),
+            arch=arch,
+            max_workers=jobs,
+            cache_dir=GLOBAL_CACHE.disk_dir,
         )
-        cycles = {
-            c.name: run_config(instance, compiled, c, arch).cycles
-            for c in configs
+        per_workload = {
+            name: {c.name: runs[(name, c.name, seed)].cycles for c in configs}
+            for name in names
         }
+    else:
+        per_workload = {}
+        for name in names:
+            instance = make_workload(name, scale=scale, seed=seed)
+            compiled = compile_cached(
+                instance, fabric, arch, policy=EFFCC, seed=seed
+            )
+            per_workload[name] = {
+                c.name: run_config(instance, compiled, c, arch).cycles
+                for c in configs
+            }
+    for name in names:
+        cycles = per_workload[name]
         base = cycles["monaco"]
         result.raw[name] = dict(cycles)
         result.rows[name] = {k: v / base for k, v in cycles.items()}

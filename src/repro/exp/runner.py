@@ -3,15 +3,22 @@
 Every simulated run is validated against the workload's reference output
 — a performance number from a run that computed the wrong answer would be
 meaningless.
+
+:func:`run_parallel` fans a (workload x config x seed) sweep out over a
+``ProcessPoolExecutor``; simulation and PnR are deterministic, so the
+parallel sweep is bit-identical to the serial one, and an on-disk compile
+cache (see :mod:`repro.exp.cache`) shares PnR results between workers.
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
-from repro.arch.fabric import Fabric, monaco
+from repro.arch.fabric import Fabric, build_fabric, monaco
 from repro.arch.params import ArchParams
-from repro.core.policy import EFFCC, PlacementPolicy
+from repro.core.policy import EFFCC, PlacementPolicy, get_policy
 from repro.exp.cache import GLOBAL_CACHE
 from repro.exp.configs import MachineConfig
 from repro.pnr.flow import compile_kernel
@@ -23,6 +30,12 @@ from repro.workloads.registry import make_workload
 
 #: The paper's evaluated fabric clock divider (Sec. 6).
 PAPER_DIVIDER = 2
+
+#: (topology, rows, cols) triple — picklable stand-in for a Fabric when
+#: shipping jobs to worker processes.
+FabricSpec = tuple[str, int, int]
+
+DEFAULT_FABRIC_SPEC: FabricSpec = ("monaco", 12, 12)
 
 
 @dataclass
@@ -110,3 +123,81 @@ def run_workload_on_configs(
         config.name: run_config(instance, compiled, config, arch, divider)
         for config in configs
     }
+
+
+# -- parallel sweep ---------------------------------------------------------
+
+
+def _run_sweep_job(
+    name: str,
+    config: MachineConfig,
+    scale: str,
+    seed: int,
+    arch: ArchParams,
+    divider: int,
+    policy_name: str,
+    fabric_spec: FabricSpec,
+    cache_dir: str | None,
+) -> RunResult:
+    """One (workload, config, seed) point; runs inside a worker process."""
+    if cache_dir is not None and GLOBAL_CACHE.disk_dir is None:
+        GLOBAL_CACHE.enable_disk(cache_dir)
+    policy = get_policy(policy_name)
+    fabric = build_fabric(*fabric_spec)
+    instance = make_workload(name, scale=scale, seed=seed)
+    compiled = compile_cached(instance, fabric, arch, policy=policy, seed=seed)
+    return run_config(instance, compiled, config, arch, divider)
+
+
+def run_parallel(
+    workloads: list[str],
+    configs: list[MachineConfig],
+    scale: str = "small",
+    seeds: tuple[int, ...] = (0,),
+    arch: ArchParams | None = None,
+    policy: PlacementPolicy = EFFCC,
+    divider: int = PAPER_DIVIDER,
+    fabric_spec: FabricSpec = DEFAULT_FABRIC_SPEC,
+    max_workers: int | None = None,
+    cache_dir: str | os.PathLike | None = None,
+) -> dict[tuple[str, str, int], RunResult]:
+    """Fan (workload x config x seed) out over worker processes.
+
+    Returns ``{(workload, config_name, seed): RunResult}``. Results are
+    bit-identical to running each point serially: compilation and
+    simulation are deterministic, and every job recompiles (or loads from
+    the shared on-disk cache) its own kernel, so no cross-job state leaks.
+
+    ``max_workers <= 1`` runs in-process — same code path minus the pool,
+    which keeps the serial-vs-parallel equivalence testable without fork
+    overhead. ``cache_dir`` points workers at a shared persistent compile
+    cache so each distinct PnR key is placed-and-routed once per machine.
+    """
+    arch = arch or ArchParams()
+    cache_str = str(cache_dir) if cache_dir is not None else None
+    jobs = [
+        (name, config, seed)
+        for name in workloads
+        for config in configs
+        for seed in seeds
+    ]
+    results: dict[tuple[str, str, int], RunResult] = {}
+    if max_workers is not None and max_workers <= 1:
+        for name, config, seed in jobs:
+            results[(name, config.name, seed)] = _run_sweep_job(
+                name, config, scale, seed, arch, divider,
+                policy.name, fabric_spec, cache_str,
+            )
+        return results
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        futures = {
+            (name, config.name, seed): pool.submit(
+                _run_sweep_job,
+                name, config, scale, seed, arch, divider,
+                policy.name, fabric_spec, cache_str,
+            )
+            for name, config, seed in jobs
+        }
+        for key, future in futures.items():
+            results[key] = future.result()
+    return results

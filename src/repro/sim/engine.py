@@ -137,6 +137,11 @@ class _Engine:
         }
         self.active: set[int] = set(self.dfg.nodes)
         self.emit_candidates: set[int] = set()
+        #: Tokens pushed earlier in the *current* fabric tick but not yet
+        #: committed, per consumer FIFO. ``can_emit`` counts these so two
+        #: capacity checks within one tick cannot both claim the same
+        #: remaining slot (intra-tick FIFO-overflow fix).
+        self.pending_pushes: dict[tuple[int, int], int] = {}
         self.arrivals: list[tuple[int, int, RequestRecord]] = []
         self._arrival_order = 0
         self._seq = 0
@@ -170,21 +175,35 @@ class _Engine:
     # -- helpers ---------------------------------------------------------
 
     def can_emit(self, nid: int) -> bool:
-        for consumer, index in self.consumers[nid]:
-            if len(self.fifos.queues[(consumer, index)]) >= self.capacity:
+        for key in self.consumers[nid]:
+            occupied = len(self.fifos.queues[key]) + self.pending_pushes.get(
+                key, 0
+            )
+            if occupied >= self.capacity:
                 return False
         return True
 
     def push_output(self, nid: int, value, pushes: list) -> None:
         pushes.append((nid, value))
+        for key in self.consumers[nid]:
+            self.pending_pushes[key] = self.pending_pushes.get(key, 0) + 1
 
     def commit_pushes(self, pushes: list) -> None:
         for nid, value in pushes:
             for consumer, index in self.consumers[nid]:
-                self.fifos.queues[(consumer, index)].append(value)
+                queue = self.fifos.queues[(consumer, index)]
+                queue.append(value)
+                if len(queue) > self.capacity:
+                    node = self.dfg.nodes[consumer]
+                    raise SimulationError(
+                        f"FIFO overflow: node {consumer} ({node.op} "
+                        f"{node.tag!r}) port {node.port_name(index)} holds "
+                        f"{len(queue)} tokens (capacity {self.capacity})"
+                    )
                 self.tokens += 1
                 self.stats.noc_hops += self.edge_hops[(nid, consumer)]
                 self.active.add(consumer)
+        self.pending_pushes.clear()
 
     # -- main loop ---------------------------------------------------------
 
@@ -193,7 +212,9 @@ class _Engine:
         last_event = 0
         max_cycles = self.arch.sim.max_cycles
         deadlock_after = self.arch.sim.deadlock_cycles
+        cycle_skip = self.arch.sim.cycle_skip
         while True:
+            self.stats.executed_cycles += 1
             progressed = False
             self.memsys.tick(now)
             for record in self.memsys.completions(now):
@@ -212,9 +233,13 @@ class _Engine:
                 record.arrived_cycle = now
                 self.emit_candidates.add(record.nid)
                 progressed = True
-            self.frontend.tick(
+            if self.frontend.tick(
                 now, lambda rec: self.memsys.enqueue(rec, now)
-            )
+            ):
+                # Requests advancing through the fabric-memory network
+                # (e.g. Monaco's arbiter chain) count as forward progress
+                # for the deadlock detector.
+                progressed = True
             if now % self.divider == 0:
                 if self._fabric_tick(now):
                     progressed = True
@@ -227,10 +252,57 @@ class _Engine:
             if now > max_cycles:
                 raise SimulationError("simulation exceeded max_cycles")
             now += 1
+            if cycle_skip:
+                target = self._skip_target(
+                    now, last_event, deadlock_after, max_cycles
+                )
+                if target > now:
+                    self.stats.skipped_cycles += target - now
+                    now = target
         self.stats.system_cycles = now
         self.stats.mem = self.memsys.stats
         self._check_final_state()
         return self.stats
+
+    def _skip_target(
+        self, now: int, last_event: int, deadlock_after: int, max_cycles: int
+    ) -> int:
+        """Earliest cycle >= ``now`` at which anything can happen.
+
+        Every component contributes a ``next_event`` hint; in the gap up
+        to the minimum of those hints the machine is provably quiescent,
+        so executing the skipped cycles would change nothing — results
+        are bit-identical with skipping on or off. The jump is clamped so
+        the deadlock detector and the ``max_cycles`` safety net still
+        trip at exactly the cycle the per-cycle loop would have raised.
+        """
+        candidates = []
+        nxt = self.memsys.next_event(now)
+        if nxt is not None:
+            candidates.append(nxt)
+        if self.arrivals:
+            candidates.append(max(now, self.arrivals[0][0]))
+        frontend_next = getattr(self.frontend, "next_event", None)
+        if frontend_next is not None:
+            nxt = frontend_next(now)
+        else:
+            # Frontends without a hint: never skip while they hold state.
+            nxt = now if self.frontend.busy() else None
+        if nxt is not None:
+            candidates.append(nxt)
+        if self.active or self.emit_candidates:
+            # A node may be ready (or retry a blocked emit) at the next
+            # fabric tick; idle PEs wake only via the sources above.
+            divider = self.divider
+            candidates.append(((now + divider - 1) // divider) * divider)
+        if candidates:
+            target = min(candidates)
+        else:
+            # Nothing can ever happen again: jump straight to where the
+            # per-cycle loop would diagnose the deadlock.
+            target = last_event + deadlock_after + 1
+        target = min(target, last_event + deadlock_after + 1, max_cycles + 1)
+        return max(now, target)
 
     def _finished(self, now: int) -> bool:
         if now == 0:

@@ -80,8 +80,15 @@ class MonacoFrontend:
         self.pe_queues[record.pe_coord].append(record)
         self.in_network += 1
 
-    def tick(self, now: int, deliver) -> None:
-        """Advance one system cycle; ``deliver(record)`` hands to memory."""
+    def tick(self, now: int, deliver) -> bool:
+        """Advance one system cycle; ``deliver(record)`` hands to memory.
+
+        Returns True when any request moved — a port delivered to memory
+        or an arbiter latch refilled. The engine's deadlock detector
+        counts this as progress, so a request crawling through a long
+        arbiter chain does not false-trip ``DeadlockError``.
+        """
+        moved = False
         # 1. Ports consume (one request per port per cycle).
         for port in sorted(self.port_sources):
             sources = self.port_sources[port]
@@ -93,6 +100,7 @@ class MonacoFrontend:
                     self.port_rr[port] = (start + offset + 1) % len(sources)
                     self.in_network -= 1
                     deliver(record)
+                    moved = True
                     break
         # 2. Arbiters refill their latches, nearest-to-memory domain first
         #    so a request advances at most one stage per cycle.
@@ -110,7 +118,9 @@ class MonacoFrontend:
                 if record is not None:
                     arbiter.rr = (start + offset + 1) % len(arbiter.sources)
                     arbiter.latch = record
+                    moved = True
                     break
+        return moved
 
     def _take(self, source) -> RequestRecord | None:
         """Pull one request from a PE queue or an arbiter latch."""
@@ -128,3 +138,8 @@ class MonacoFrontend:
         if any(self.pe_queues.values()):
             return True
         return any(a.latch is not None for a in self.arbiters.values())
+
+    def next_event(self, now: int) -> int | None:
+        """Cycle-skip hint: arbiters move every cycle while any request
+        is in flight; with nothing in the network there is no event."""
+        return now if self.busy() else None

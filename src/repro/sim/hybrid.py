@@ -51,7 +51,7 @@ class HybridFrontend(MonacoFrontend):
     def region_of_address(self, address: int) -> int:
         return self.address_map.line(address) % self.n_regions
 
-    def tick(self, now: int, deliver) -> None:
+    def tick(self, now: int, deliver) -> bool:
         def stage(record: RequestRecord) -> None:
             local = self.row_region[record.pe_coord[1]] == (
                 self.region_of_address(record.address)
@@ -68,9 +68,20 @@ class HybridFrontend(MonacoFrontend):
                     (now + self.remote_cycles, self._order, record),
                 )
 
+        moved = False
         while self._stage and self._stage[0][0] <= now:
             deliver(heapq.heappop(self._stage)[2])
-        super().tick(now, stage)
+            moved = True
+        return super().tick(now, stage) or moved
 
     def busy(self) -> bool:
         return bool(self._stage) or super().busy()
+
+    def next_event(self, now: int) -> int | None:
+        """Cycle-skip hint: the arbiter hierarchy moves every cycle while
+        occupied; otherwise the next staged NUMA crossing matters."""
+        nxt = now if MonacoFrontend.busy(self) else None
+        if self._stage:
+            staged = max(now, self._stage[0][0])
+            nxt = staged if nxt is None else min(nxt, staged)
+        return nxt

@@ -34,6 +34,11 @@ class RequestRecord:
     issue_cycle: int
     #: System cycles of response-network delay back to the PE.
     response_hops: int = 0
+    #: System cycle the request joined its bank queue (-1 while in the
+    #: fabric-memory network). A plain field — not side-table bookkeeping
+    #: keyed by ``id(record)`` — so records survive pickling and object
+    #: reuse across worker processes.
+    enqueue_cycle: int = -1
     serve_cycle: int = -1
     complete_cycle: int = -1
     #: System cycle the response reached the PE (None while in flight).
@@ -51,7 +56,7 @@ class MemStats:
     bank_wait_cycles: int = 0
     latency_total: int = 0
 
-    def record_service(self, record: RequestRecord, enqueued: int) -> None:
+    def record_service(self, record: RequestRecord) -> None:
         if record.request.kind == "load":
             self.loads += 1
         else:
@@ -60,7 +65,7 @@ class MemStats:
             self.hits += 1
         else:
             self.misses += 1
-        self.bank_wait_cycles += record.serve_cycle - enqueued
+        self.bank_wait_cycles += record.serve_cycle - record.enqueue_cycle
 
 
 class SharedCache:
@@ -99,7 +104,6 @@ class MemorySystem:
         self.bank_queues: list[deque] = [
             deque() for _ in range(params.n_banks)
         ]
-        self._enqueue_cycle: dict[int, int] = {}
         self._completions: list[tuple[int, int, RequestRecord]] = []
         self._order = 0
         self.stats = MemStats()
@@ -108,7 +112,7 @@ class MemorySystem:
         """A request arrives at its bank's queue."""
         bank = self.address_map.bank(record.address)
         self.bank_queues[bank].append(record)
-        self._enqueue_cycle[id(record)] = now
+        record.enqueue_cycle = now
 
     def tick(self, now: int) -> None:
         """Serve up to ``bank_throughput`` requests per bank this cycle."""
@@ -141,8 +145,7 @@ class MemorySystem:
             array[request.index] = request.value
             record.value = 0
         record.complete_cycle = now + latency
-        enqueued = self._enqueue_cycle.pop(id(record))
-        self.stats.record_service(record, enqueued)
+        self.stats.record_service(record)
         self._order += 1
         heapq.heappush(
             self._completions, (record.complete_cycle, self._order, record)
@@ -155,3 +158,16 @@ class MemorySystem:
 
     def busy(self) -> bool:
         return bool(self._completions) or any(self.bank_queues)
+
+    def next_event(self, now: int) -> int | None:
+        """Earliest system cycle >= ``now`` the memory system must run.
+
+        Used by the engine's cycle-skipping scheduler: non-empty bank
+        queues need service every cycle; otherwise the next interesting
+        cycle is the earliest pending completion. ``None`` means idle.
+        """
+        if any(self.bank_queues):
+            return now
+        if self._completions:
+            return max(now, self._completions[0][0])
+        return None

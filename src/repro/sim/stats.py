@@ -49,6 +49,12 @@ class SimStats:
     noc_hops: int = 0
     #: Fabric-memory NoC arbitration stages traversed (request + response).
     fmnoc_hops: int = 0
+    #: System cycles the engine actually executed (loop iterations). With
+    #: event-driven cycle skipping this is <= system_cycles; excluded from
+    #: equality so skip-on and skip-off stats still compare bit-identical.
+    executed_cycles: int = field(default=0, compare=False)
+    #: System cycles the scheduler jumped over as provably idle.
+    skipped_cycles: int = field(default=0, compare=False)
 
     @property
     def fabric_cycles(self) -> int:

@@ -43,12 +43,22 @@ class UniformFrontend:
         record.response_hops = 0
         self._schedule(record, now + self.delay)
 
-    def tick(self, now: int, deliver) -> None:
+    def tick(self, now: int, deliver) -> bool:
+        moved = False
         while self._pipe and self._pipe[0][0] <= now:
             deliver(heapq.heappop(self._pipe)[2])
+            moved = True
+        return moved
 
     def busy(self) -> bool:
         return bool(self._pipe)
+
+    def next_event(self, now: int) -> int | None:
+        """Cycle-skip hint: nothing happens until the pipe's head matures,
+        so the engine may jump straight over the fixed UPEA delay."""
+        if not self._pipe:
+            return None
+        return max(now, self._pipe[0][0])
 
 
 class NumaFrontend(UniformFrontend):

@@ -1,0 +1,168 @@
+"""Event-driven cycle skipping must be bit-identical to the per-cycle loop.
+
+The scheduler (``repro/sim/engine.py``) jumps the system clock over
+provably-idle gaps (memory latency, clock-divider dead cycles). These
+tests pin the skip-safety contract: identical ``system_cycles``, identical
+``SimStats`` (``executed_cycles``/``skipped_cycles`` are excluded from
+dataclass equality by design), identical final memory — across all 13
+Table 1 workloads and all three frontend families.
+"""
+
+import pytest
+
+from repro.arch.fabric import monaco
+from repro.arch.params import ArchParams, SimParams
+from repro.core.policy import EFFCC
+from repro.errors import DeadlockError, SimulationError
+from repro.pnr.flow import compile_once
+from repro.sim.engine import simulate
+from repro.sim.upea import NumaFrontend, UniformFrontend
+from repro.workloads.registry import ALL_WORKLOADS, make_workload
+
+from kernels import zoo_instance
+
+FABRIC = monaco(12, 12)
+SKIP_ON = ArchParams(sim=SimParams(cycle_skip=True))
+SKIP_OFF = ArchParams(sim=SimParams(cycle_skip=False))
+
+FRONTENDS = {
+    "monaco": None,  # engine default
+    "upea": lambda fabric, amap: UniformFrontend(4),
+    "numa": lambda fabric, amap: NumaFrontend(4, fabric, amap, seed=0),
+}
+
+
+def _compile(instance):
+    return compile_once(
+        instance.kernel, FABRIC, ArchParams(), EFFCC, parallelism=1
+    )
+
+
+def _run(compiled, instance, arch, frontend):
+    kwargs = {}
+    if FRONTENDS[frontend] is not None:
+        kwargs["frontend_factory"] = FRONTENDS[frontend]
+    arrays = {name: list(data) for name, data in instance.arrays.items()}
+    return simulate(compiled, instance.params, arrays, arch, **kwargs)
+
+
+@pytest.mark.parametrize("name", ALL_WORKLOADS)
+def test_skip_bit_identical_all_workloads(name):
+    """Acceptance: identical cycles/stats on every Table 1 workload."""
+    instance = make_workload(name, scale="tiny")
+    compiled = _compile(instance)
+    on = _run(compiled, instance, SKIP_ON, "monaco")
+    off = _run(compiled, instance, SKIP_OFF, "monaco")
+    assert on.stats.system_cycles == off.stats.system_cycles
+    assert on.stats == off.stats  # full SimStats equality, incl. memstats
+    assert on.memory == off.memory
+    assert on.stats.executed_cycles < off.stats.executed_cycles
+    assert on.stats.skipped_cycles > 0
+    assert (
+        on.stats.executed_cycles + on.stats.skipped_cycles
+        == off.stats.executed_cycles
+    )
+
+
+@pytest.mark.parametrize("frontend", sorted(FRONTENDS))
+@pytest.mark.parametrize("name", ["spmspv", "fft", "mergesort"])
+def test_skip_bit_identical_across_frontends(name, frontend):
+    """Determinism holds for monaco, upea, and numa frontends alike."""
+    instance = make_workload(name, scale="tiny")
+    compiled = _compile(instance)
+    on = _run(compiled, instance, SKIP_ON, frontend)
+    off = _run(compiled, instance, SKIP_OFF, frontend)
+    assert on.stats.system_cycles == off.stats.system_cycles
+    assert on.stats == off.stats
+    assert on.memory == off.memory
+
+
+def test_skip_enabled_by_default():
+    assert ArchParams().sim.cycle_skip is True
+    kernel, params, arrays = zoo_instance("dot")
+    ck = compile_once(kernel, FABRIC, ArchParams(), EFFCC, parallelism=1)
+    res = simulate(ck, params, arrays, ArchParams())
+    assert res.stats.skipped_cycles > 0
+
+
+def test_skip_off_executes_every_cycle():
+    kernel, params, arrays = zoo_instance("dot")
+    ck = compile_once(kernel, FABRIC, ArchParams(), EFFCC, parallelism=1)
+    res = simulate(ck, params, arrays, SKIP_OFF)
+    assert res.stats.skipped_cycles == 0
+    # The loop runs cycles 0..system_cycles inclusive.
+    assert res.stats.executed_cycles == res.stats.system_cycles + 1
+
+
+def test_skip_jumps_over_upea_delay():
+    """A fixed-delay pipe is the canonical skippable gap."""
+    kernel, params, arrays = zoo_instance("chase")
+    ck = compile_once(kernel, FABRIC, ArchParams(), EFFCC, parallelism=1)
+    results = {}
+    for arch in (SKIP_ON, SKIP_OFF):
+        results[arch.sim.cycle_skip] = simulate(
+            ck, params, dict(arrays), arch,
+            frontend_factory=lambda f, a: UniformFrontend(40),
+        )
+    assert (
+        results[True].stats.system_cycles
+        == results[False].stats.system_cycles
+    )
+    # The pointer chase idles through each 40-cycle pipe delay; skipping
+    # must elide the bulk of the simulated cycles.
+    assert (
+        results[True].stats.executed_cycles
+        < results[False].stats.executed_cycles / 2
+    )
+
+
+def test_skip_preserves_deadlock_diagnosis():
+    """The detector trips at the same cycle with skipping on or off."""
+    from repro.dfg.graph import PortRef
+
+    errors = {}
+    for cycle_skip in (True, False):
+        kernel, params, arrays = zoo_instance("join")
+        ck = compile_once(kernel, FABRIC, ArchParams(), EFFCC, parallelism=1)
+        victim = next(n for n in ck.dfg.nodes.values() if n.op == "binop")
+        victim.inputs[0] = PortRef(victim.nid)
+        arch = ArchParams(
+            sim=SimParams(deadlock_cycles=2_000, cycle_skip=cycle_skip)
+        )
+        with pytest.raises(DeadlockError) as excinfo:
+            simulate(ck, params, arrays, arch)
+        errors[cycle_skip] = str(excinfo.value)
+    assert errors[True] == errors[False]
+
+
+def test_skip_preserves_max_cycles_guard():
+    kernel, params, arrays = zoo_instance("dot")
+    ck = compile_once(kernel, FABRIC, ArchParams(), EFFCC, parallelism=1)
+    arch = ArchParams(sim=SimParams(max_cycles=3))
+    with pytest.raises(SimulationError, match="max_cycles"):
+        simulate(ck, params, arrays, arch)
+
+
+def test_frontends_expose_next_event_hints():
+    """Idle components report None; busy ones report a concrete cycle."""
+    from repro.arch.memory import AddressMap
+    from repro.arch.params import MemoryParams
+    from repro.sim.memsys import MemorySystem
+
+    fe = UniformFrontend(7)
+    assert fe.next_event(3) is None
+    amap = AddressMap({"a": 64}, MemoryParams())
+    memsys = MemorySystem(MemoryParams(), amap, {"a": [0] * 64})
+    assert memsys.next_event(5) is None
+
+    from repro.dfg.ops import MemRequest
+    from repro.sim.memsys import RequestRecord
+
+    record = RequestRecord(
+        nid=1, seq=1, request=MemRequest("load", "a", 0),
+        address=0, pe_coord=(0, 0), issue_cycle=3,
+    )
+    fe.inject(record, 3)
+    assert fe.next_event(3) == 10  # now + delay
+    memsys.enqueue(record, 10)
+    assert memsys.next_event(10) == 10  # bank queues run every cycle

@@ -71,7 +71,8 @@ class TestMemStats:
             issue_cycle=0,
         )
         record.hit = True
+        record.enqueue_cycle = 3
         record.serve_cycle = 5
-        stats.record_service(record, enqueued=3)
+        stats.record_service(record)
         assert stats.loads == 1 and stats.hits == 1
         assert stats.bank_wait_cycles == 2
