@@ -1,0 +1,112 @@
+"""CI guard: the observability layer must cost nothing when off.
+
+Three checks, all deterministic except the timing ratio:
+
+1. **Gating** — an untraced run must carry no observation object at all
+   (``result.obs is None``): every publish site in the engine, memory
+   system, and frontends is gated on that attribute, so this is the
+   single failure point through which off-path tracing work could leak.
+2. **Bit-identity** — tracing on must not change a single stat or output
+   byte (it observes the machine, it never steers it).
+3. **Timing sanity** — the untraced median must not exceed the traced
+   median (with slack for CI noise): if the off path ever does the on
+   path's work, the two medians collapse together from the wrong side.
+
+The absolute pre/post-PR regression gate is ``bench_cycle_skip``'s >=3x
+speedup floor, which runs in the same CI job; this script pins the
+*mechanism* (None-gating) that keeps the off path free.
+
+Run: ``PYTHONPATH=src python benchmarks/check_trace_overhead.py``
+"""
+
+from __future__ import annotations
+
+import statistics
+import sys
+import time
+
+from repro.arch.fabric import monaco
+from repro.arch.params import ArchParams, SimParams
+from repro.exp.configs import MONACO
+from repro.exp.runner import PAPER_DIVIDER, compile_cached
+from repro.sim.engine import simulate
+from repro.workloads.registry import make_workload
+
+WORKLOAD = "spmspv"
+SCALE = "small"
+ROUNDS = 3
+#: Allowed off/on ratio: off must not be slower than on beyond CI noise.
+NOISE_SLACK = 1.10
+
+
+def timed_run(compiled, instance, arch):
+    arrays = {name: list(data) for name, data in instance.arrays.items()}
+    start = time.perf_counter()
+    result = simulate(
+        compiled,
+        instance.params,
+        arrays,
+        arch,
+        frontend_factory=MONACO.frontend_factory(PAPER_DIVIDER),
+        divider=PAPER_DIVIDER,
+    )
+    elapsed = time.perf_counter() - start
+    instance.check(result.memory)
+    return result, elapsed
+
+
+def main() -> int:
+    instance = make_workload(WORKLOAD, scale=SCALE)
+    arch_off = ArchParams(sim=SimParams(trace=False))
+    arch_on = ArchParams(sim=SimParams(trace=True))
+    compiled = compile_cached(instance, monaco(12, 12), arch_off)
+
+    runs = {}
+    for label, arch in (("off", arch_off), ("on", arch_on)):
+        results, times = [], []
+        for _ in range(ROUNDS):
+            result, elapsed = timed_run(compiled, instance, arch)
+            results.append(result)
+            times.append(elapsed)
+        runs[label] = (results, statistics.median(times))
+
+    off_results, off_s = runs["off"]
+    on_results, on_s = runs["on"]
+
+    # 1. Gating: no observation object may exist on the off path.
+    assert all(r.obs is None for r in off_results), (
+        "untraced run carried an observation object -- the "
+        "zero-overhead-when-off gating is broken"
+    )
+    assert all(r.obs is not None for r in on_results)
+
+    # 2. Bit-identity: tracing observes, never steers.
+    assert on_results[0].stats == off_results[0].stats, (
+        "tracing changed simulation stats"
+    )
+    assert on_results[0].memory == off_results[0].memory, (
+        "tracing changed simulated memory"
+    )
+
+    overhead = (on_s - off_s) / off_s
+    print(
+        f"{WORKLOAD}/{SCALE}: trace-off median {off_s:.3f}s, "
+        f"trace-on median {on_s:.3f}s "
+        f"(tracing-on overhead {overhead:+.1%}, {ROUNDS} rounds)"
+    )
+
+    # 3. Timing sanity.
+    if off_s > on_s * NOISE_SLACK:
+        print(
+            f"FAIL: untraced run slower than traced run "
+            f"({off_s:.3f}s vs {on_s:.3f}s) -- off path is doing "
+            "tracing work",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK: off path carries no observation and matches traced stats")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

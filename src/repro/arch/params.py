@@ -68,6 +68,13 @@ class SimParams:
     #: Results are bit-identical either way; this knob exists so the
     #: equivalence can be asserted (and the per-cycle loop A/B-tested).
     cycle_skip: bool = True
+    #: Cycle-attribution tracing (see :mod:`repro.obs`). Off by default:
+    #: with ``trace=False`` the engine publishes nothing and stats are
+    #: bit-identical to a build without the observability layer.
+    trace: bool = False
+    #: When tracing, also collect a Chrome ``trace_event`` timeline and —
+    #: if a path is given — write it at the end of the run.
+    trace_path: str | None = None
 
     def __post_init__(self):
         if self.fifo_capacity < 2:

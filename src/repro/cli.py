@@ -5,6 +5,10 @@ Commands:
 * ``workloads`` — list the Table 1 applications;
 * ``fabric`` — draw a fabric topology with its NUPEA domains;
 * ``run`` — compile and simulate one workload on one configuration;
+* ``profile`` — run with cycle-attribution tracing and print the stall
+  taxonomy tables, latency percentiles, and traffic heatmaps;
+* ``trace`` — run with tracing and export a Chrome ``trace_event`` JSON
+  (load it in Perfetto / ``chrome://tracing``);
 * ``figure`` — regenerate one of the paper's evaluation figures;
 * ``sweep`` — run a (workload x config x seed) sweep, optionally across
   worker processes sharing a persistent compile cache;
@@ -15,6 +19,7 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.arch.fabric import TOPOLOGIES, build_fabric
@@ -38,6 +43,7 @@ FIGURES = {
     "fig15": figures_mod.fig15,
     "fig16": figures_mod.fig16,
     "fig17": figures_mod.fig17,
+    "stalls": figures_mod.fig_stalls,
 }
 
 
@@ -103,6 +109,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the event-driven cycle-skipping scheduler "
         "(results are bit-identical either way; this is the A/B knob)",
     )
+    p_run.add_argument(
+        "--stats-json", default=None, metavar="PATH",
+        help="also write the run's SimStats as machine-readable JSON",
+    )
+
+    def add_sim_args(p):
+        p.add_argument("workload", choices=sorted(ALL_WORKLOADS))
+        p.add_argument("--scale", default="small")
+        p.add_argument(
+            "--config", default="monaco",
+            help="monaco | ideal | upeaN | numaN (default: monaco)",
+        )
+        p.add_argument(
+            "--policy", choices=sorted(POLICIES), default="effcc"
+        )
+        p.add_argument("--rows", type=int, default=12)
+        p.add_argument("--cols", type=int, default=12)
+        p.add_argument("--topology", default="monaco")
+        p.add_argument("--tracks", type=int, default=3)
+        p.add_argument("--seed", type=int, default=0)
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="simulate with cycle-attribution tracing and print the "
+        "stall-taxonomy tables and traffic heatmaps",
+    )
+    add_sim_args(p_profile)
+    p_profile.add_argument(
+        "--top", type=int, default=20,
+        help="rows of the per-node attribution table (default 20)",
+    )
+    p_profile.add_argument(
+        "--stats-json", default=None, metavar="PATH",
+        help="also write the run's SimStats as machine-readable JSON",
+    )
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="simulate with tracing and export a Chrome trace_event "
+        "JSON (Perfetto / chrome://tracing)",
+    )
+    add_sim_args(p_trace)
+    p_trace.add_argument(
+        "--out", default="trace.json", metavar="PATH",
+        help="where to write the trace (default: trace.json)",
+    )
 
     p_fig = sub.add_parser(
         "figure", help="regenerate one evaluation figure"
@@ -143,6 +195,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None,
         help="persistent compile-cache directory shared across workers "
         "(default: the user cache dir; see repro.exp.cache)",
+    )
+    p_sweep.add_argument(
+        "--manifest", default=None, metavar="PATH",
+        help="append one JSONL manifest record per run "
+        "(see repro.obs.manifest)",
+    )
+    p_sweep.add_argument(
+        "--stats-json", default=None, metavar="PATH",
+        help="write every run's SimStats as one machine-readable JSON map",
     )
 
     p_table = sub.add_parser("table1", help="regenerate Table 1")
@@ -211,6 +272,75 @@ def cmd_run(args) -> int:
     print("stats:", run.stats.summary())
     if args.energy:
         print("energy:", estimate_energy(run.stats).summary())
+    if args.stats_json:
+        with open(args.stats_json, "w", encoding="utf-8") as fh:
+            json.dump(run.stats.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"stats JSON written to {args.stats_json}")
+    return 0
+
+
+def _traced_run(args, trace_path=None):
+    """Shared setup for ``profile`` and ``trace``: one traced simulation."""
+    from repro.arch.params import SimParams
+
+    instance = make_workload(args.workload, scale=args.scale, seed=args.seed)
+    arch = ArchParams(
+        noc_tracks=args.tracks,
+        sim=SimParams(trace=True, trace_path=trace_path),
+    )
+    fabric = build_fabric(args.topology, args.rows, args.cols)
+    policy = get_policy(args.policy)
+    compiled = compile_cached(
+        instance, fabric, arch, policy=policy, seed=args.seed
+    )
+    config = _config_for(args.config)
+    divider = max(PAPER_DIVIDER, compiled.timing.clock_divider)
+    run = run_config(instance, compiled, config, arch, divider=divider)
+    return fabric, compiled, config, run
+
+
+def cmd_profile(args) -> int:
+    fabric, compiled, config, run = _traced_run(args)
+    print(compiled.summary())
+    print(
+        f"{args.workload} on {config.name}: {run.cycles} system cycles "
+        f"(output verified)"
+    )
+    print("stats:", run.stats.summary())
+    obs = run.obs
+    print()
+    print(obs.attribution.render(top=args.top))
+    agg = obs.attribution.aggregate()
+    attributed = sum(agg.values())
+    n_nodes = max(1, len(obs.attribution.per_node))
+    print(
+        f"attributed {attributed // n_nodes} cycles/node over "
+        f"{n_nodes} nodes vs {run.cycles} system cycles"
+    )
+    print()
+    print(obs.noc_heatmap.render(fabric.rows, fabric.cols))
+    print()
+    print(obs.fmnoc_heatmap.render())
+    if args.stats_json:
+        with open(args.stats_json, "w", encoding="utf-8") as fh:
+            json.dump(run.stats.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"stats JSON written to {args.stats_json}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    _fabric, _compiled, config, run = _traced_run(args, trace_path=args.out)
+    print(
+        f"{args.workload} on {config.name}: {run.cycles} system cycles "
+        f"(output verified)"
+    )
+    n_events = len(run.obs.chrome.events)
+    print(
+        f"{n_events} timeline events (+ metadata) written to {args.out} "
+        "(load in Perfetto or chrome://tracing)"
+    )
     return 0
 
 
@@ -238,6 +368,7 @@ def cmd_sweep(args) -> int:
         seeds=tuple(args.seeds),
         max_workers=args.jobs,
         cache_dir=cache_dir,
+        manifest_path=args.manifest,
     )
     width = max(len(w) for w in args.workloads)
     for (workload, config, seed), run in sorted(results.items()):
@@ -245,6 +376,17 @@ def cmd_sweep(args) -> int:
             f"{workload:{width}s} {config:12s} seed={seed} "
             f"{run.cycles:>10d} cycles (output verified)"
         )
+    if args.manifest:
+        print(f"manifest appended to {args.manifest}")
+    if args.stats_json:
+        payload = {
+            f"{workload}/{config}/seed{seed}": run.stats.to_dict()
+            for (workload, config, seed), run in sorted(results.items())
+        }
+        with open(args.stats_json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"stats JSON written to {args.stats_json}")
     return 0
 
 
@@ -298,6 +440,8 @@ COMMANDS = {
     "workloads": cmd_workloads,
     "fabric": cmd_fabric,
     "run": cmd_run,
+    "profile": cmd_profile,
+    "trace": cmd_trace,
     "figure": cmd_figure,
     "sweep": cmd_sweep,
     "table1": cmd_table1,

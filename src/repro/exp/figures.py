@@ -53,6 +53,60 @@ def _workload_list(workloads):
     return list(workloads) if workloads else list(ALL_WORKLOADS)
 
 
+def fig_stalls(
+    scale: str = "small",
+    seed: int = 0,
+    workloads=None,
+    arch=None,
+    config=None,
+) -> FigureResult:
+    """Supplementary: where cycles go, per workload (stall taxonomy).
+
+    Runs each workload on Monaco (or ``config``) with cycle-attribution
+    tracing on and reports the machine-wide share of node-cycles in each
+    bucket of :data:`repro.obs.events.STALL_KINDS` (+ ``fire``). This is
+    the attribution behind the paper's Sec. 5 argument: on Monaco the
+    critical recurrences wait on memory round-trips
+    (``memory-outstanding``), not on fabric compute.
+    """
+    from dataclasses import replace
+
+    from repro.obs.events import FIRE, STALL_KINDS
+
+    arch = arch or ArchParams()
+    arch = ArchParams(
+        memory=arch.memory,
+        sim=replace(arch.sim, trace=True),
+        timing=arch.timing,
+        noc_tracks=arch.noc_tracks,
+        noc_model=arch.noc_model,
+    )
+    config = config or MONACO
+    fabric = monaco(12, 12)
+    kinds = [FIRE] + list(STALL_KINDS)
+    result = FigureResult(
+        "fig_stalls",
+        f"Cycle attribution on {config.name} "
+        "(share of node-cycles per stall bucket)",
+        kinds,
+    )
+    for name in _workload_list(workloads):
+        instance = make_workload(name, scale=scale, seed=seed)
+        compiled = compile_cached(
+            instance, fabric, arch, policy=EFFCC, seed=seed
+        )
+        run = run_config(instance, compiled, config, arch)
+        fractions = run.obs.attribution.fractions()
+        result.rows[name] = {kind: fractions[kind] for kind in kinds}
+        result.raw[name] = {"cycles": float(run.cycles)}
+    result.notes.append(
+        "rows sum to 1.0; divider-gap/skipped are global machine states, "
+        "the rest attribute executed fabric ticks per node "
+        "(repro profile <workload> breaks these down per node/PE)"
+    )
+    return result
+
+
 def fig6c(scale: str = "small", seed: int = 0, arch=None) -> FigureResult:
     """spmspv: NUPEA vs idealized UPEA0 and practical UPEA2 (Fig. 6c)."""
     arch = arch or ArchParams()

@@ -13,14 +13,16 @@ cache (see :mod:`repro.exp.cache`) shares PnR results between workers.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.arch.fabric import Fabric, build_fabric, monaco
 from repro.arch.params import ArchParams
 from repro.core.policy import EFFCC, PlacementPolicy, get_policy
 from repro.exp.cache import GLOBAL_CACHE
 from repro.exp.configs import MachineConfig
+from repro.obs.manifest import append_manifest, build_manifest
 from repro.pnr.flow import compile_kernel
 from repro.pnr.result import CompiledKernel
 from repro.sim.engine import simulate
@@ -45,6 +47,11 @@ class RunResult:
     cycles: int
     stats: SimStats
     parallelism: int
+    #: Wall-clock seconds the timed simulation took (excluded from
+    #: equality — two bit-identical runs never take identical time).
+    wall_time: float = field(default=0.0, compare=False)
+    #: Observability bus of the run (tracing on only), for profiling.
+    obs: object = field(default=None, compare=False, repr=False)
 
 
 def compile_cached(
@@ -84,8 +91,10 @@ def run_config(
     config: MachineConfig,
     arch: ArchParams,
     divider: int = PAPER_DIVIDER,
+    obs=None,
 ) -> RunResult:
     """Simulate one (compiled workload, machine config) pair and validate."""
+    start = time.perf_counter()
     result = simulate(
         compiled,
         instance.params,
@@ -93,7 +102,9 @@ def run_config(
         arch,
         frontend_factory=config.frontend_factory(divider),
         divider=divider,
+        obs=obs,
     )
+    wall = time.perf_counter() - start
     instance.check(result.memory)
     return RunResult(
         workload=instance.name,
@@ -101,6 +112,8 @@ def run_config(
         cycles=result.stats.system_cycles,
         stats=result.stats,
         parallelism=compiled.parallelism,
+        wall_time=wall,
+        obs=result.obs,
     )
 
 
@@ -113,16 +126,34 @@ def run_workload_on_configs(
     fabric: Fabric | None = None,
     policy: PlacementPolicy = EFFCC,
     divider: int = PAPER_DIVIDER,
+    manifest_path: str | os.PathLike | None = None,
 ) -> dict[str, RunResult]:
-    """Compile once, then simulate under each interconnect config."""
+    """Compile once, then simulate under each interconnect config.
+
+    ``manifest_path`` appends one JSONL record per config (the serial
+    twin of :func:`run_parallel`'s manifest emission).
+    """
     arch = arch or ArchParams()
     fabric = fabric or monaco(12, 12)
     instance = make_workload(name, scale=scale, seed=seed)
     compiled = compile_cached(instance, fabric, arch, policy=policy, seed=seed)
-    return {
-        config.name: run_config(instance, compiled, config, arch, divider)
-        for config in configs
-    }
+    results: dict[str, RunResult] = {}
+    for config in configs:
+        run = run_config(instance, compiled, config, arch, divider)
+        results[config.name] = run
+        if manifest_path is not None:
+            append_manifest(
+                manifest_path,
+                build_manifest(
+                    run,
+                    scale=scale,
+                    seed=seed,
+                    divider=divider,
+                    fabric_spec=(fabric.name, fabric.rows, fabric.cols),
+                    policy=policy.name,
+                ),
+            )
+    return results
 
 
 # -- parallel sweep ---------------------------------------------------------
@@ -160,6 +191,7 @@ def run_parallel(
     fabric_spec: FabricSpec = DEFAULT_FABRIC_SPEC,
     max_workers: int | None = None,
     cache_dir: str | os.PathLike | None = None,
+    manifest_path: str | os.PathLike | None = None,
 ) -> dict[tuple[str, str, int], RunResult]:
     """Fan (workload x config x seed) out over worker processes.
 
@@ -172,6 +204,11 @@ def run_parallel(
     which keeps the serial-vs-parallel equivalence testable without fork
     overhead. ``cache_dir`` points workers at a shared persistent compile
     cache so each distinct PnR key is placed-and-routed once per machine.
+
+    ``manifest_path`` appends one JSONL record per run (see
+    :mod:`repro.obs.manifest`). Records are written by the parent in job
+    order, so serial and parallel sweeps produce identical manifests up
+    to the volatile ``wall_time_s``/``timestamp`` fields.
     """
     arch = arch or ArchParams()
     cache_str = str(cache_dir) if cache_dir is not None else None
@@ -181,13 +218,31 @@ def run_parallel(
         for config in configs
         for seed in seeds
     ]
+
+    def emit(run: RunResult, seed: int) -> None:
+        if manifest_path is None:
+            return
+        append_manifest(
+            manifest_path,
+            build_manifest(
+                run,
+                scale=scale,
+                seed=seed,
+                divider=divider,
+                fabric_spec=fabric_spec,
+                policy=policy.name,
+            ),
+        )
+
     results: dict[tuple[str, str, int], RunResult] = {}
     if max_workers is not None and max_workers <= 1:
         for name, config, seed in jobs:
-            results[(name, config.name, seed)] = _run_sweep_job(
+            run = _run_sweep_job(
                 name, config, scale, seed, arch, divider,
                 policy.name, fabric_spec, cache_str,
             )
+            results[(name, config.name, seed)] = run
+            emit(run, seed)
         return results
     with ProcessPoolExecutor(max_workers=max_workers) as pool:
         futures = {
@@ -200,4 +255,5 @@ def run_parallel(
         }
         for key, future in futures.items():
             results[key] = future.result()
+            emit(results[key], key[2])
     return results

@@ -1,0 +1,46 @@
+"""Observability: cycle attribution, tracing, heatmaps, run manifests.
+
+The subsystem is **zero-overhead when off**: with ``ArchParams.sim.trace``
+false (the default) the engine holds ``obs = None`` and every publish
+site is a single attribute check — simulated results are bit-identical
+and the measured slowdown is within noise. With tracing on, the engine,
+memory system and fabric-memory frontends publish structured events to an
+:class:`~repro.obs.events.EventBus`; sinks turn the stream into
+
+* a per-node / per-PE **cycle-attribution table** over the stall taxonomy
+  (:data:`~repro.obs.events.STALL_KINDS`),
+* **NoC-link and FM-NoC-stage traffic heatmaps** keyed by the compiled
+  placement,
+* a Chrome ``trace_event`` JSON viewable in Perfetto / ``chrome://tracing``.
+
+:func:`make_observation` assembles the standard sink set for one run;
+:mod:`repro.obs.manifest` emits structured JSONL run manifests.
+"""
+
+from __future__ import annotations
+
+from repro.obs.events import (
+    FIRE,
+    STALL_KINDS,
+    EventBus,
+)
+from repro.obs.sinks import (
+    ChromeTraceSink,
+    CycleAttribution,
+    FmnocHeatmap,
+    NocHeatmap,
+    Observation,
+    make_observation,
+)
+
+__all__ = [
+    "FIRE",
+    "STALL_KINDS",
+    "EventBus",
+    "ChromeTraceSink",
+    "CycleAttribution",
+    "FmnocHeatmap",
+    "NocHeatmap",
+    "Observation",
+    "make_observation",
+]

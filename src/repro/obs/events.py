@@ -1,0 +1,134 @@
+"""Event taxonomy and the publish/subscribe bus.
+
+Publishers (the engine, :class:`~repro.sim.memsys.MemorySystem`, the
+Monaco/UPEA/NUMA frontends) call the ``EventBus`` methods below; sinks
+subscribe by implementing the matching ``on_*`` hooks. Handler lists are
+resolved once at :meth:`EventBus.attach` time so a publish is a plain
+loop over bound methods — no ``hasattr`` in the hot path.
+
+Stall taxonomy (per DFG node, per executed fabric tick):
+
+``fire``
+    the node committed a firing (including a load emitting its response).
+``operand-wait``
+    the firing rule is unsatisfied — an input FIFO the node needs is
+    empty (also covers drained sources with nothing left to do).
+``output-backpressure``
+    the node is ready but a downstream consumer FIFO is full.
+``fifo-full``
+    a *memory response* is back at the PE but cannot be emitted because
+    the consumer FIFO is full.
+``memory-outstanding``
+    the node is waiting on its own in-flight memory request(s): either
+    the response has not completed the round-trip yet (the paper's
+    critical-load stall) or the ``max_outstanding`` issue queue is full.
+``divider-gap``
+    executed system cycles between fabric ticks (global, applies to all
+    nodes equally — the fabric clock simply is not edging).
+``skipped``
+    system cycles the event-driven scheduler jumped over as provably
+    quiescent; synthesized coarsely as one span event per jump.
+"""
+
+from __future__ import annotations
+
+#: Classification of a node firing (not a stall, but the seventh bucket
+#: every attributed fabric tick falls into).
+FIRE = "fire"
+
+#: The stall taxonomy, in reporting order.
+STALL_KINDS = (
+    "operand-wait",
+    "output-backpressure",
+    "fifo-full",
+    "memory-outstanding",
+    "divider-gap",
+    "skipped",
+)
+
+#: Buckets a single executed fabric tick can put one node into.
+TICK_KINDS = (FIRE,) + STALL_KINDS[:4]
+
+#: publisher method name -> sink hook name.
+_HOOKS = {
+    "gap": "on_gap",
+    "skip": "on_skip",
+    "tick": "on_tick",
+    "fire": "on_fire",
+    "mem": "on_mem",
+    "mem_service": "on_mem_service",
+    "token": "on_token",
+    "fmnoc": "on_fmnoc",
+    "counter": "on_counter",
+    "finish": "on_finish",
+}
+
+
+class EventBus:
+    """Fan-out from simulator publish sites to attached sinks."""
+
+    def __init__(self) -> None:
+        self.sinks: list = []
+        self._handlers: dict[str, list] = {name: [] for name in _HOOKS}
+
+    def attach(self, sink) -> None:
+        """Subscribe ``sink``; its ``on_*`` hooks are resolved now."""
+        self.sinks.append(sink)
+        for publish, hook in _HOOKS.items():
+            method = getattr(sink, hook, None)
+            if method is not None:
+                self._handlers[publish].append(method)
+
+    # -- publisher API ----------------------------------------------------
+    # One method per event kind; each is a plain loop over bound hooks.
+
+    def gap(self, now: int) -> None:
+        """One executed system cycle between fabric ticks."""
+        for handler in self._handlers["gap"]:
+            handler(now)
+
+    def skip(self, now: int, target: int) -> None:
+        """The scheduler jumped from ``now`` to ``target`` (quiescent)."""
+        for handler in self._handlers["skip"]:
+            handler(now, target)
+
+    def tick(self, now: int, classification: dict[int, str]) -> None:
+        """One executed fabric tick: every node's bucket (TICK_KINDS)."""
+        for handler in self._handlers["tick"]:
+            handler(now, classification)
+
+    def fire(self, now: int, node, pe: tuple[int, int]) -> None:
+        """Node ``node`` (a DFG Node) committed a firing at ``now``."""
+        for handler in self._handlers["fire"]:
+            handler(now, node, pe)
+
+    def mem(self, now: int, record, node, domain) -> None:
+        """A memory response reached its PE (full lifecycle known)."""
+        for handler in self._handlers["mem"]:
+            handler(now, record, node, domain)
+
+    def mem_service(self, now: int, record) -> None:
+        """A bank served ``record`` (hit/miss and latency decided)."""
+        for handler in self._handlers["mem_service"]:
+            handler(now, record)
+
+    def token(self, now: int, src: int, dst: int) -> None:
+        """A token crossed the data NoC from node ``src`` to ``dst``."""
+        for handler in self._handlers["token"]:
+            handler(now, src, dst)
+
+    def fmnoc(self, now: int, stage: tuple) -> None:
+        """A request advanced through FM-NoC ``stage``:
+        ``("arb", row, domain)`` or ``("port", port_id)``."""
+        for handler in self._handlers["fmnoc"]:
+            handler(now, stage)
+
+    def counter(self, name: str, amount: int = 1) -> None:
+        """Frontend-specific named counter (e.g. NUMA local/remote)."""
+        for handler in self._handlers["counter"]:
+            handler(name, amount)
+
+    def finish(self, stats) -> None:
+        """The run reached quiescence; ``stats`` is the final SimStats."""
+        for handler in self._handlers["finish"]:
+            handler(stats)

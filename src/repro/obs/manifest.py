@@ -1,0 +1,106 @@
+"""Structured JSONL run manifests.
+
+Every harness run can append one JSON object per (workload, config, seed)
+point to a manifest file: what ran (config digest), where (git revision,
+fabric), how long (wall time) and what it measured (the full
+``SimStats.to_dict()``). Scripts consume the JSONL instead of scraping
+``summary()`` text, and two manifests of the same sweep — serial or
+parallel, any ``--jobs`` — differ only in ``wall_time_s`` and
+``timestamp``.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+import subprocess
+import time
+
+#: Manifest schema version; bump on incompatible layout changes.
+MANIFEST_SCHEMA = 1
+
+#: Keys that legitimately differ between two runs of the same point.
+VOLATILE_KEYS = ("wall_time_s", "timestamp", "git_rev")
+
+
+@functools.lru_cache(maxsize=1)
+def git_rev() -> str:
+    """Current git revision, or ``"unknown"`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "unknown"
+
+
+def config_digest(fields: dict) -> str:
+    """Stable short digest of the run configuration."""
+    payload = json.dumps(
+        {"schema": MANIFEST_SCHEMA, **fields}, sort_keys=True
+    ).encode()
+    return hashlib.sha256(payload).hexdigest()[:16]
+
+
+def build_manifest(
+    run,
+    *,
+    scale: str,
+    seed: int,
+    divider: int,
+    fabric_spec=None,
+    policy: str | None = None,
+    extra: dict | None = None,
+) -> dict:
+    """One manifest record for a :class:`~repro.exp.runner.RunResult`."""
+    config_fields = {
+        "workload": run.workload,
+        "config": run.config,
+        "scale": scale,
+        "seed": seed,
+        "divider": divider,
+        "fabric": list(fabric_spec) if fabric_spec else None,
+        "policy": policy,
+        "parallelism": run.parallelism,
+    }
+    record = {
+        "schema": MANIFEST_SCHEMA,
+        "digest": config_digest(config_fields),
+        **config_fields,
+        "git_rev": git_rev(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "wall_time_s": round(getattr(run, "wall_time", 0.0), 6),
+        "cycles": run.cycles,
+        "stats": run.stats.to_dict(),
+    }
+    if extra:
+        record.update(extra)
+    return record
+
+
+def append_manifest(path, record: dict) -> None:
+    """Append one record as a single JSONL line (creates the file)."""
+    with open(path, "a") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def read_manifest(path) -> list[dict]:
+    """Parse a JSONL manifest back into records."""
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def stable_view(record: dict) -> dict:
+    """The record minus volatile keys — equal across repeat runs."""
+    return {k: v for k, v in record.items() if k not in VOLATILE_KEYS}

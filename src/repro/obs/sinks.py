@@ -1,0 +1,452 @@
+"""Standard sinks for the observability bus.
+
+Each sink subscribes to the subset of events it needs (see
+:mod:`repro.obs.events`); all of them are plain-data accumulators that
+render to text, so they survive pickling across the parallel harness's
+worker processes and two identical runs produce identical sinks.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from repro.obs.events import FIRE, STALL_KINDS, TICK_KINDS, EventBus
+
+Coord = tuple[int, int]
+
+
+def _node_label(node) -> str:
+    label = node.op
+    if node.tag:
+        label += f" {node.tag!r}"
+    return label
+
+
+class CycleAttribution:
+    """Per-node / per-PE cycle accounting over the stall taxonomy.
+
+    Every executed fabric tick attributes exactly one system cycle per
+    node to one of :data:`~repro.obs.events.TICK_KINDS`; executed cycles
+    between fabric ticks land in the global ``divider_gap`` bucket and
+    scheduler jumps in ``skipped``. For every node::
+
+        sum(per_node[nid].values()) + divider_gap + skipped
+            == executed_cycles + skipped_cycles == system_cycles + 1
+
+    (the +1 is the final quiescence-check cycle, which is executed but
+    does not advance the clock).
+    """
+
+    def __init__(self, node_info: dict[int, tuple[str, str, Coord]]):
+        #: nid -> (label, criticality, pe coord).
+        self.node_info = node_info
+        self.per_node: dict[int, Counter] = {
+            nid: Counter() for nid in node_info
+        }
+        self.divider_gap = 0
+        self.skipped = 0
+        self.ticks = 0
+        self.counters: Counter = Counter()
+
+    # -- hooks ------------------------------------------------------------
+
+    def on_gap(self, now: int) -> None:
+        self.divider_gap += 1
+
+    def on_skip(self, now: int, target: int) -> None:
+        self.skipped += target - now
+
+    def on_tick(self, now: int, classification: dict[int, str]) -> None:
+        self.ticks += 1
+        for nid, kind in classification.items():
+            self.per_node[nid][kind] += 1
+
+    def on_counter(self, name: str, amount: int) -> None:
+        self.counters[name] += amount
+
+    # -- queries ----------------------------------------------------------
+
+    def node_total(self, nid: int) -> int:
+        """Cycles attributed to ``nid`` (identical for every node)."""
+        return (
+            sum(self.per_node[nid].values()) + self.divider_gap + self.skipped
+        )
+
+    def aggregate(self) -> Counter:
+        """Machine-wide node-cycles per bucket (gap/skip once per node)."""
+        total: Counter = Counter()
+        for counts in self.per_node.values():
+            total.update(counts)
+        n = len(self.per_node)
+        total["divider-gap"] = self.divider_gap * n
+        total["skipped"] = self.skipped * n
+        return total
+
+    def fractions(self) -> dict[str, float]:
+        """Aggregate bucket shares in [0, 1] (empty run -> all zeros)."""
+        agg = self.aggregate()
+        denom = sum(agg.values())
+        kinds = (FIRE,) + STALL_KINDS
+        if not denom:
+            return {kind: 0.0 for kind in kinds}
+        return {kind: agg.get(kind, 0) / denom for kind in kinds}
+
+    def per_pe(self) -> dict[Coord, Counter]:
+        """Tick-bucket counts aggregated over the nodes each PE hosts."""
+        out: dict[Coord, Counter] = {}
+        for nid, counts in self.per_node.items():
+            coord = self.node_info[nid][2]
+            out.setdefault(coord, Counter()).update(counts)
+        return out
+
+    # -- rendering --------------------------------------------------------
+
+    #: Short column headers for :meth:`render`.
+    SHORT = {
+        FIRE: "fire",
+        "operand-wait": "op-wait",
+        "output-backpressure": "out-bp",
+        "fifo-full": "fifo-full",
+        "memory-outstanding": "mem-outst",
+    }
+
+    def render(self, top: int = 20) -> str:
+        """The per-node stall-taxonomy table (worst stallers first).
+
+        Ranking favors *actionable* stalls — backpressure, full response
+        FIFOs, memory waits — over generic operand starvation (every
+        idle node racks that up symmetrically).
+        """
+        width = 11
+        lines = ["per-node cycle attribution (system cycles):"]
+        lines.append(
+            "  "
+            + "node".ljust(30)
+            + "".join(self.SHORT[kind].rjust(width) for kind in TICK_KINDS)
+        )
+
+        def rank_key(nid: int):
+            counts = self.per_node[nid]
+            hard = sum(
+                counts[k]
+                for k in TICK_KINDS
+                if k not in (FIRE, "operand-wait")
+            )
+            return (-hard, -counts["operand-wait"], nid)
+
+        ranked = sorted(self.per_node, key=rank_key)
+        for nid in ranked[:top]:
+            label, crit, coord = self.node_info[nid]
+            name = f"{nid:4d} [{crit}] {label}"[:30]
+            cells = "".join(
+                str(self.per_node[nid][kind]).rjust(width)
+                for kind in TICK_KINDS
+            )
+            lines.append("  " + name.ljust(30) + cells)
+        if len(ranked) > top:
+            lines.append(f"  ... {len(ranked) - top} more node(s)")
+        lines.append(
+            f"  global: divider-gap={self.divider_gap} "
+            f"skipped={self.skipped} fabric-ticks={self.ticks}"
+        )
+        if self.per_node:
+            nid = next(iter(self.per_node))
+            lines.append(
+                f"  attributed per node: {self.node_total(nid)} cycles "
+                "(= executed + skipped = system_cycles + 1)"
+            )
+        for name in sorted(self.counters):
+            lines.append(f"  counter {name} = {self.counters[name]}")
+        return "\n".join(lines)
+
+
+class NocHeatmap:
+    """Token traffic per routed data-NoC channel, keyed by placement.
+
+    A token from producer to consumer is charged to every channel of the
+    producing net's routed tree (the tree is shared across sinks, so this
+    is a per-net upper bound — exact per-sink splits would need flit-level
+    routing the engine does not model).
+    """
+
+    def __init__(self, edge_channels: dict[tuple[int, int], tuple]):
+        self.edge_channels = edge_channels
+        self.channel_tokens: Counter = Counter()
+        self.edge_tokens: Counter = Counter()
+
+    def on_token(self, now: int, src: int, dst: int) -> None:
+        self.edge_tokens[(src, dst)] += 1
+        for key in self.edge_channels.get((src, dst), ()):
+            self.channel_tokens[key] += 1
+
+    def cell_load(self) -> dict[Coord, int]:
+        """Traffic per fabric cell: channels charged to their source."""
+        cells: Counter = Counter()
+        for (src, _dst, _kind), count in self.channel_tokens.items():
+            cells[src] += count
+        return dict(cells)
+
+    def render(self, rows: int, cols: int) -> str:
+        """ASCII heatmap, log-bucketed ``.123456789`` per cell."""
+        cells = self.cell_load()
+        peak = max(cells.values(), default=0)
+        lines = [
+            f"data-NoC channel traffic heatmap (peak cell = {peak} "
+            "channel-tokens; scale . then 1-9 log-bucketed)"
+        ]
+        for y in range(rows):
+            row = []
+            for x in range(cols):
+                load = cells.get((x, y), 0)
+                if load == 0:
+                    row.append(".")
+                else:
+                    # 1..9 by log scale relative to the peak.
+                    frac = load / peak
+                    bucket = max(1, min(9, int(frac * 9 + 0.999)))
+                    row.append(str(bucket))
+            lines.append(f"  {y:2d} " + "".join(row) + " |mem")
+        return "\n".join(lines)
+
+
+class FmnocHeatmap:
+    """Requests observed per fabric-memory NoC stage (arbiter or port)."""
+
+    def __init__(self) -> None:
+        self.stage_traffic: Counter = Counter()
+
+    def on_fmnoc(self, now: int, stage: tuple) -> None:
+        self.stage_traffic[stage] += 1
+
+    def render(self, top: int = 16) -> str:
+        lines = ["FM-NoC stage traffic (requests per stage):"]
+        if not self.stage_traffic:
+            lines.append("  (no arbitrated traffic — UPEA/NUMA frontend?)")
+            return "\n".join(lines)
+        ranked = sorted(
+            self.stage_traffic.items(), key=lambda kv: (-kv[1], kv[0])
+        )
+        for stage, count in ranked[:top]:
+            if stage[0] == "arb":
+                label = f"arbiter row={stage[1]} D{stage[2]}"
+            else:
+                label = f"memory port {stage[1]}"
+            lines.append(f"  {label:24s} {count:8d}")
+        if len(ranked) > top:
+            lines.append(f"  ... {len(ranked) - top} more stage(s)")
+        return "\n".join(lines)
+
+
+class ChromeTraceSink:
+    """Chrome ``trace_event`` JSON (load it in Perfetto).
+
+    Tracks: pid 0 = fabric (one thread per DFG node, firings as complete
+    events + a per-tick stall counter), pid 1 = memory (per-node request
+    lifecycles, per-bank service slices), pid 2 = scheduler (cycle-skip
+    spans). Timestamps are system cycles.
+    """
+
+    def __init__(
+        self,
+        divider: int,
+        node_info: dict[int, tuple[str, str, Coord]],
+        bank_of=None,
+        counter_every: int = 1,
+    ):
+        self.divider = divider
+        self.node_info = node_info
+        self.bank_of = bank_of  # address -> bank index, or None
+        self.counter_every = max(1, counter_every)
+        self.events: list[dict] = []
+        self._tick_index = 0
+
+    # -- hooks ------------------------------------------------------------
+
+    def on_fire(self, now: int, node, pe: Coord) -> None:
+        self.events.append(
+            {
+                "name": _node_label(node),
+                "cat": node.op,
+                "ph": "X",
+                "ts": now,
+                "dur": self.divider,
+                "pid": 0,
+                "tid": node.nid,
+                "args": {"pe": f"{pe[0]},{pe[1]}"},
+            }
+        )
+
+    def on_mem(self, now: int, record, node, domain) -> None:
+        request = record.request
+        self.events.append(
+            {
+                "name": f"{request.kind} {request.array}[{request.index}]",
+                "cat": "mem",
+                "ph": "X",
+                "ts": record.issue_cycle,
+                "dur": max(1, now - record.issue_cycle),
+                "pid": 1,
+                "tid": record.nid,
+                "args": {
+                    "hit": bool(record.hit),
+                    "criticality": node.criticality,
+                    "domain": domain,
+                    "response_hops": record.response_hops,
+                    "bank_wait": max(
+                        0, record.serve_cycle - record.enqueue_cycle
+                    ),
+                },
+            }
+        )
+
+    def on_mem_service(self, now: int, record) -> None:
+        if self.bank_of is None:
+            return
+        self.events.append(
+            {
+                "name": "hit" if record.hit else "miss",
+                "cat": "bank",
+                "ph": "X",
+                "ts": record.serve_cycle,
+                "dur": max(1, record.complete_cycle - record.serve_cycle),
+                "pid": 1,
+                "tid": 10_000 + self.bank_of(record.address),
+                "args": {"address": record.address},
+            }
+        )
+
+    def on_tick(self, now: int, classification: dict[int, str]) -> None:
+        self._tick_index += 1
+        if self._tick_index % self.counter_every:
+            return
+        counts = Counter(classification.values())
+        self.events.append(
+            {
+                "name": "stalls",
+                "ph": "C",
+                "ts": now,
+                "pid": 0,
+                "tid": 0,
+                "args": {kind: counts.get(kind, 0) for kind in TICK_KINDS},
+            }
+        )
+
+    def on_skip(self, now: int, target: int) -> None:
+        self.events.append(
+            {
+                "name": "cycle-skip",
+                "cat": "scheduler",
+                "ph": "X",
+                "ts": now,
+                "dur": target - now,
+                "pid": 2,
+                "tid": 0,
+                "args": {},
+            }
+        )
+
+    # -- output -----------------------------------------------------------
+
+    def _metadata(self) -> list[dict]:
+        meta = [
+            _meta("process_name", 0, 0, {"name": "fabric"}),
+            _meta("process_name", 1, 0, {"name": "memory"}),
+            _meta("process_name", 2, 0, {"name": "scheduler"}),
+        ]
+        for nid, (label, crit, coord) in sorted(self.node_info.items()):
+            name = f"n{nid} [{crit}] {label} @{coord[0]},{coord[1]}"
+            meta.append(_meta("thread_name", 0, nid, {"name": name}))
+            meta.append(
+                _meta("thread_name", 1, nid, {"name": f"mem {name}"})
+            )
+        return meta
+
+    def to_json(self) -> dict:
+        return {
+            "traceEvents": self._metadata() + self.events,
+            "displayTimeUnit": "ns",
+            "otherData": {
+                "clock": "system cycles",
+                "clock_divider": self.divider,
+            },
+        }
+
+    def write(self, path) -> int:
+        """Serialize to ``path``; returns the number of trace events."""
+        payload = self.to_json()
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=None, separators=(",", ":"))
+        return len(payload["traceEvents"])
+
+
+def _meta(name: str, pid: int, tid: int, args: dict) -> dict:
+    return {"name": name, "ph": "M", "pid": pid, "tid": tid, "args": args}
+
+
+class Observation(EventBus):
+    """The standard bus: attribution + heatmaps (+ optional Chrome trace).
+
+    Built by :func:`make_observation`; the simulator publishes into it and
+    callers read the sinks back off the returned object (also exposed as
+    ``SimResult.obs``).
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.attribution: CycleAttribution | None = None
+        self.noc_heatmap: NocHeatmap | None = None
+        self.fmnoc_heatmap: FmnocHeatmap | None = None
+        self.chrome: ChromeTraceSink | None = None
+
+
+def _edge_channel_map(compiled) -> dict[tuple[int, int], tuple]:
+    """(producer, consumer) -> routed channel keys of the producing net."""
+    from repro.pnr.netlist import build_netlist
+
+    netlist = build_netlist(compiled.dfg)
+    out: dict[tuple[int, int], tuple] = {}
+    for index, net in enumerate(netlist.nets):
+        channels = tuple(
+            sorted(compiled.routing.net_channels.get(index, ()))
+        )
+        for sink in net.sinks:
+            out.setdefault((net.src, sink), channels)
+    return out
+
+
+def node_info_of(compiled) -> dict[int, tuple[str, str, Coord]]:
+    """nid -> (label, criticality, placed PE coord) for sink construction."""
+    return {
+        nid: (
+            _node_label(node),
+            node.criticality,
+            compiled.placement[nid],
+        )
+        for nid, node in compiled.dfg.nodes.items()
+    }
+
+
+def make_observation(
+    compiled,
+    divider: int,
+    address_map=None,
+    chrome: bool = False,
+    counter_every: int = 1,
+) -> Observation:
+    """Assemble the standard sink set for one run of ``compiled``."""
+    obs = Observation()
+    info = node_info_of(compiled)
+    obs.attribution = CycleAttribution(info)
+    obs.attach(obs.attribution)
+    obs.noc_heatmap = NocHeatmap(_edge_channel_map(compiled))
+    obs.attach(obs.noc_heatmap)
+    obs.fmnoc_heatmap = FmnocHeatmap()
+    obs.attach(obs.fmnoc_heatmap)
+    if chrome:
+        bank_of = address_map.bank if address_map is not None else None
+        obs.chrome = ChromeTraceSink(
+            divider, info, bank_of=bank_of, counter_every=counter_every
+        )
+        obs.attach(obs.chrome)
+    return obs

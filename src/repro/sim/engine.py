@@ -28,6 +28,7 @@ from repro.arch.params import ArchParams
 from repro.dfg.graph import DFG, PortRef
 from repro.dfg.ops import NO_EMIT, FifoLike, decide, fresh_state
 from repro.errors import DeadlockError, SimulationError
+from repro.obs.events import FIRE
 from repro.pnr.result import CompiledKernel
 from repro.sim.fmnoc_sim import MonacoFrontend
 from repro.sim.memsys import MemorySystem, RequestRecord
@@ -52,9 +53,12 @@ class _Fifos(FifoLike):
 class SimResult:
     """Final memory state plus statistics for one run."""
 
-    def __init__(self, memory: dict[str, list], stats: SimStats):
+    def __init__(self, memory: dict[str, list], stats: SimStats, obs=None):
         self.memory = memory
         self.stats = stats
+        #: The :class:`repro.obs.Observation` the run published into, or
+        #: None when tracing was off.
+        self.obs = obs
 
 
 def default_frontend(fabric, address_map):
@@ -68,8 +72,16 @@ def simulate(
     arch: ArchParams | None = None,
     frontend_factory=default_frontend,
     divider: int | None = None,
+    obs=None,
 ) -> SimResult:
-    """Run ``compiled`` to quiescence and return memory + stats."""
+    """Run ``compiled`` to quiescence and return memory + stats.
+
+    ``obs`` is an optional :class:`repro.obs.events.EventBus` the engine,
+    memory system and frontend publish to. When it is None and
+    ``arch.sim.trace`` is set, the standard sink set
+    (:func:`repro.obs.make_observation`) is assembled automatically;
+    with tracing off nothing is published and results are bit-identical.
+    """
     arch = arch or ArchParams()
     params = dict(params or {})
     dfg = compiled.dfg
@@ -91,17 +103,36 @@ def simulate(
     address_map = AddressMap(dfg.arrays, arch.memory)
     memsys = MemorySystem(arch.memory, address_map, memory)
     frontend = frontend_factory(compiled.fabric, address_map)
+    if obs is None and arch.sim.trace:
+        from repro.obs import make_observation
+
+        obs = make_observation(
+            compiled,
+            divider,
+            address_map=address_map,
+            chrome=arch.sim.trace_path is not None,
+        )
+    if obs is not None:
+        memsys.obs = obs
+        frontend.obs = obs
     engine = _Engine(
-        compiled, params, arch, divider, memsys, frontend, address_map
+        compiled, params, arch, divider, memsys, frontend, address_map,
+        obs=obs,
     )
     stats = engine.run()
     stats.frontend = getattr(frontend, "name", type(frontend).__name__)
-    return SimResult(memory, stats)
+    if obs is not None:
+        obs.finish(stats)
+        chrome = getattr(obs, "chrome", None)
+        if chrome is not None and arch.sim.trace_path:
+            chrome.write(arch.sim.trace_path)
+    return SimResult(memory, stats, obs=obs)
 
 
 class _Engine:
     def __init__(
-        self, compiled, params, arch, divider, memsys, frontend, address_map
+        self, compiled, params, arch, divider, memsys, frontend,
+        address_map, obs=None,
     ):
         self.compiled = compiled
         self.dfg: DFG = compiled.dfg
@@ -148,6 +179,12 @@ class _Engine:
         self.tokens = 0
         self.mem_inflight = 0
         self.stats = SimStats(clock_divider=divider)
+        #: Observability bus, or None (tracing off — the zero-overhead
+        #: contract: every publish site below is gated on this check).
+        self.obs = obs
+        #: Per-tick scratch for attribution (None while tracing is off).
+        self._tick_fired: set[int] | None = None
+        self._tick_fifo_full: set[int] | None = None
 
     def _init_edge_hops(self) -> None:
         from repro.pnr.netlist import build_netlist
@@ -243,6 +280,8 @@ class _Engine:
             if now % self.divider == 0:
                 if self._fabric_tick(now):
                     progressed = True
+            elif self.obs is not None:
+                self.obs.gap(now)
             if progressed:
                 last_event = now
             if self._finished(now):
@@ -257,6 +296,11 @@ class _Engine:
                     now, last_event, deadlock_after, max_cycles
                 )
                 if target > now:
+                    if self.obs is not None:
+                        # Coarse synthesis: the whole quiescent span is
+                        # one "skipped" event (nothing happened in it by
+                        # construction, so no finer events exist).
+                        self.obs.skip(now, target)
                     self.stats.skipped_cycles += target - now
                     now = target
         self.stats.system_cycles = now
@@ -330,16 +374,82 @@ class _Engine:
     def _fabric_tick(self, now: int) -> bool:
         pushes: list = []
         progressed = False
+        obs = self.obs
+        if obs is not None:
+            self._tick_fired = set()
+            self._tick_fifo_full = set()
         if self.emit_candidates:
             progressed |= self._emit_responses(now, pushes)
         progressed |= self._fire_nodes(now, pushes)
+        if obs is not None:
+            # Classify *before* committing pushes: tokens land at the
+            # next tick, so the pre-commit FIFO state is what this tick's
+            # firing rules actually saw.
+            obs.tick(now, self._classify_tick())
+            self._tick_fired = None
+            self._tick_fifo_full = None
         if pushes:
+            if obs is not None:
+                # Publish token movements at the same point they are
+                # committed; kept out of commit_pushes so its signature
+                # stays a plain (pushes) hook for capacity tests.
+                for nid, _value in pushes:
+                    for consumer, _index in self.consumers[nid]:
+                        obs.token(now, nid, consumer)
             self.commit_pushes(pushes)
             progressed = True
         return progressed
 
+    def _classify_tick(self) -> dict[int, str]:
+        """Attribute this executed fabric tick: one bucket per node."""
+        fired = self._tick_fired
+        fifo_full = self._tick_fifo_full
+        classification: dict[int, str] = {}
+        for nid in self.dfg.nodes:
+            if nid in fired:
+                classification[nid] = FIRE
+            elif nid in fifo_full:
+                classification[nid] = "fifo-full"
+            else:
+                reason = self._stall_reason(nid)
+                # "ready" means tokens became visible only after the fire
+                # phase scanned the node — it was operand-starved when it
+                # mattered this tick.
+                classification[nid] = (
+                    "operand-wait" if reason == "ready" else reason
+                )
+        return classification
+
+    def _stall_reason(self, nid: int) -> str:
+        """Why ``nid`` cannot fire right now (side-effect-free peek)."""
+        node = self.dfg.nodes[nid]
+        queue = self.resp_queue.get(nid)
+        if queue and queue[0].arrived_cycle is not None:
+            # A memory response is back at the PE but cannot be emitted.
+            if not self.can_emit(nid):
+                return "fifo-full"
+        try:
+            decision = decide(
+                node, self.states[nid], self.fifos, self.params
+            )
+        except Exception:  # pragma: no cover - diagnostic path only
+            return "operand-wait"
+        if decision is None:
+            # No new firing possible; if this PE has requests in flight,
+            # the wait is the memory round-trip itself (the paper's
+            # critical-load stall), not operand starvation.
+            return "memory-outstanding" if queue else "operand-wait"
+        if decision.mem is not None:
+            if queue is not None and len(queue) >= self.max_outstanding:
+                return "memory-outstanding"
+            return "ready"
+        if decision.emit is not NO_EMIT and not self.can_emit(nid):
+            return "output-backpressure"
+        return "ready"
+
     def _emit_responses(self, now: int, pushes: list) -> bool:
         progressed = False
+        obs = self.obs
         for nid in sorted(self.emit_candidates):
             queue = self.resp_queue[nid]
             record = queue[0] if queue else None
@@ -347,6 +457,8 @@ class _Engine:
                 self.emit_candidates.discard(nid)
                 continue
             if not self.can_emit(nid):
+                if obs is not None:
+                    self._tick_fifo_full.add(nid)
                 continue  # retry next fabric tick
             queue.popleft()
             self.mem_inflight -= 1
@@ -358,6 +470,9 @@ class _Engine:
                 self.stats.record_load(
                     node.criticality, self.domain_of[nid], latency
                 )
+            if obs is not None:
+                self._tick_fired.add(nid)
+                obs.mem(now, record, node, self.domain_of[nid])
             # The PE may issue again now that a slot freed up.
             self.active.add(nid)
             if not queue or queue[0].arrived_cycle is None:
@@ -399,6 +514,9 @@ class _Engine:
             self.stats.firings[node.op] = (
                 self.stats.firings.get(node.op, 0) + 1
             )
+            if self.obs is not None:
+                self._tick_fired.add(nid)
+                self.obs.fire(now, node, self.compiled.placement[nid])
             progressed = True
             # The node may be ready again next tick; keep it active.
         return progressed
@@ -420,19 +538,57 @@ class _Engine:
     # -- diagnostics ---------------------------------------------------
 
     def _raise_deadlock(self, now: int) -> None:
-        stuck = []
-        for (nid, index), queue in self.fifos.queues.items():
-            if queue:
-                node = self.dfg.nodes[nid]
-                stuck.append(
-                    f"node {nid} ({node.op} {node.tag!r}) port "
-                    f"{node.port_name(index)}: {len(queue)} token(s)"
-                )
         raise DeadlockError(
             f"no progress since cycle {now - self.arch.sim.deadlock_cycles}"
             f"; {self.tokens} tokens stranded, {self.mem_inflight} memory "
-            f"ops in flight. Stuck FIFOs:\n  " + "\n  ".join(stuck[:20])
+            "ops in flight.\n" + self._blocked_report()
         )
+
+    def _blocked_report(self, top: int = 20) -> str:
+        """Ranked blocked-node report for deadlock diagnostics.
+
+        Every node holding tokens or outstanding memory requests is
+        listed with its stall reason, per-port FIFO occupancies, and
+        in-flight memory count — the nodes hoarding the most stranded
+        state first, since the cycle that wedged the machine almost
+        always passes through one of them.
+        """
+        entries = []
+        for nid, node in self.dfg.nodes.items():
+            occupancy = {
+                node.port_name(index): len(
+                    self.fifos.queues[(nid, index)]
+                )
+                for index, inp in enumerate(node.inputs)
+                if isinstance(inp, PortRef)
+            }
+            held = sum(occupancy.values())
+            outstanding = len(self.resp_queue.get(nid, ()))
+            if not held and not outstanding:
+                continue
+            reason = self._stall_reason(nid)
+            fifos = ", ".join(
+                f"{port}:{depth}" for port, depth in occupancy.items()
+            )
+            entries.append(
+                (
+                    -(held + outstanding),
+                    nid,
+                    f"node {nid} ({node.op} {node.tag!r}) [{reason}] "
+                    f"fifos {{{fifos}}} mem-outstanding {outstanding}",
+                )
+            )
+        entries.sort()
+        lines = ["Blocked nodes (most stranded state first):"]
+        lines += [f"  {text}" for _, _, text in entries[:top]]
+        if len(entries) > top:
+            lines.append(f"  ... {len(entries) - top} more blocked node(s)")
+        if len(entries) <= 1:
+            lines.append(
+                "  (single or no holder: check source nodes / frontend "
+                "state; the machine may simply have drained incorrectly)"
+            )
+        return "\n".join(lines)
 
     def _check_final_state(self) -> None:
         for nid, state in self.states.items():

@@ -34,6 +34,8 @@ class MonacoFrontend:
     """Request-side fabric-memory NoC for the Monaco topology."""
 
     name = "monaco"
+    #: Observability bus (see :mod:`repro.obs`); None = tracing off.
+    obs = None
 
     def __init__(self, fabric: Fabric):
         self.fabric = fabric
@@ -100,6 +102,8 @@ class MonacoFrontend:
                     self.port_rr[port] = (start + offset + 1) % len(sources)
                     self.in_network -= 1
                     deliver(record)
+                    if self.obs is not None:
+                        self.obs.fmnoc(now, ("port", port))
                     moved = True
                     break
         # 2. Arbiters refill their latches, nearest-to-memory domain first
@@ -118,6 +122,10 @@ class MonacoFrontend:
                 if record is not None:
                     arbiter.rr = (start + offset + 1) % len(arbiter.sources)
                     arbiter.latch = record
+                    if self.obs is not None:
+                        self.obs.fmnoc(
+                            now, ("arb", arb_id.row, arb_id.domain)
+                        )
                     moved = True
                     break
         return moved

@@ -107,6 +107,8 @@ class MemorySystem:
         self._completions: list[tuple[int, int, RequestRecord]] = []
         self._order = 0
         self.stats = MemStats()
+        #: Observability bus (see :mod:`repro.obs`); None = tracing off.
+        self.obs = None
 
     def enqueue(self, record: RequestRecord, now: int) -> None:
         """A request arrives at its bank's queue."""
@@ -146,6 +148,8 @@ class MemorySystem:
             record.value = 0
         record.complete_cycle = now + latency
         self.stats.record_service(record)
+        if self.obs is not None:
+            self.obs.mem_service(now, record)
         self._order += 1
         heapq.heappush(
             self._completions, (record.complete_cycle, self._order, record)

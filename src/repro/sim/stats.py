@@ -6,21 +6,79 @@ from dataclasses import dataclass, field
 
 from repro.sim.memsys import MemStats
 
+#: Reservoir capacity per latency accumulator; runs with fewer samples
+#: keep every latency (percentiles exact), larger runs are sampled.
+RESERVOIR_CAP = 2048
+
+#: 64-bit LCG constants (Knuth) for deterministic reservoir sampling —
+#: plain ints, so accumulators stay picklable and value-comparable.
+_LCG_MUL = 6364136223846793005
+_LCG_INC = 1442695040888963407
+_LCG_MASK = (1 << 64) - 1
+
 
 @dataclass
 class LatencyAccumulator:
-    """Streaming mean of memory latencies."""
+    """Streaming latency statistics: exact mean + sampled percentiles.
+
+    The mean is exact (running count/total); percentiles come from a
+    deterministic reservoir (algorithm R driven by an inline LCG), so two
+    runs that observe the same latency sequence — cycle-skip on or off,
+    serial or parallel harness — hold bit-identical reservoirs.
+    """
 
     count: int = 0
     total: int = 0
+    #: Reservoir of observed latencies (exact below RESERVOIR_CAP).
+    samples: list[int] = field(default_factory=list)
+    _lcg: int = field(default=0x9E3779B97F4A7C15, repr=False)
 
     def add(self, latency: int) -> None:
         self.count += 1
         self.total += latency
+        if len(self.samples) < RESERVOIR_CAP:
+            self.samples.append(latency)
+            return
+        self._lcg = (self._lcg * _LCG_MUL + _LCG_INC) & _LCG_MASK
+        slot = self._lcg % self.count
+        if slot < RESERVOIR_CAP:
+            self.samples[slot] = latency
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile over the reservoir (0.0 if empty)."""
+        if not self.samples:
+            return 0.0
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile {p!r} outside [0, 100]")
+        ordered = sorted(self.samples)
+        rank = max(0, min(len(ordered) - 1, round(p / 100 * len(ordered)) - 1))
+        if p == 0:
+            rank = 0
+        return float(ordered[rank])
+
+    def to_dict(self) -> dict:
+        """JSON-friendly summary (count, mean, p50/p95/p99)."""
+        return {
+            "count": self.count,
+            "mean": round(self.mean, 3),
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+    def describe(self) -> str:
+        """Compact ``p50/p95/p99 (mean, n)`` rendering; '-' when empty."""
+        if not self.count:
+            return "-"
+        return (
+            f"p50={self.percentile(50):.0f}/p95={self.percentile(95):.0f}"
+            f"/p99={self.percentile(99):.0f} (mean {self.mean:.1f}, "
+            f"n={self.count})"
+        )
 
 
 @dataclass
@@ -88,10 +146,50 @@ class SimStats:
             f"({self.mem.hits} hits, {self.mem.misses} misses)",
         ]
         lat = ", ".join(
-            f"{klass}:{acc.mean:.1f}"
-            for klass, acc in self.load_latency.items()
+            f"{klass}: {acc.describe()}"
+            for klass, acc in sorted(self.load_latency.items())
             if acc.count
         )
         if lat:
-            parts.append(f"mean load latency by class [{lat}]")
+            parts.append(f"load latency by class [{lat}]")
+        dom = ", ".join(
+            f"D{domain}: {acc.describe()}"
+            for domain, acc in sorted(self.domain_latency.items())
+            if acc.count
+        )
+        if dom:
+            parts.append(f"by domain [{dom}]")
         return "; ".join(parts)
+
+    def to_dict(self) -> dict:
+        """Machine-readable stats for ``--stats-json`` and manifests."""
+        return {
+            "system_cycles": self.system_cycles,
+            "clock_divider": self.clock_divider,
+            "fabric_cycles": self.fabric_cycles,
+            "executed_cycles": self.executed_cycles,
+            "skipped_cycles": self.skipped_cycles,
+            "frontend": self.frontend,
+            "firings": dict(sorted(self.firings.items())),
+            "total_firings": self.total_firings,
+            "ipc": round(self.ipc, 4),
+            "noc_hops": self.noc_hops,
+            "fmnoc_hops": self.fmnoc_hops,
+            "mem": {
+                "loads": self.mem.loads,
+                "stores": self.mem.stores,
+                "hits": self.mem.hits,
+                "misses": self.mem.misses,
+                "bank_wait_cycles": self.mem.bank_wait_cycles,
+            },
+            "load_latency": {
+                klass: acc.to_dict()
+                for klass, acc in sorted(self.load_latency.items())
+                if acc.count
+            },
+            "domain_latency": {
+                str(domain): acc.to_dict()
+                for domain, acc in sorted(self.domain_latency.items())
+                if acc.count
+            },
+        }

@@ -27,6 +27,8 @@ class UniformFrontend:
     """Fixed-delay, contention-free fabric-memory interconnect."""
 
     name = "upea"
+    #: Observability bus (see :mod:`repro.obs`); None = tracing off.
+    obs = None
 
     def __init__(self, delay_system_cycles: int):
         if delay_system_cycles < 0:
@@ -100,3 +102,7 @@ class NumaFrontend(UniformFrontend):
         else:
             self.remote_accesses += 1
             self._schedule(record, now + self.delay)
+        if self.obs is not None:
+            self.obs.counter(
+                "numa-local" if local else "numa-remote"
+            )

@@ -17,6 +17,49 @@ class TestLatencyAccumulator:
     def test_empty_mean_is_zero(self):
         assert LatencyAccumulator().mean == 0.0
 
+    def test_empty_percentile_is_zero(self):
+        acc = LatencyAccumulator()
+        assert acc.percentile(50) == 0.0
+        assert acc.describe() == "-"
+
+    def test_percentiles_nearest_rank(self):
+        acc = LatencyAccumulator()
+        for value in range(1, 101):  # 1..100
+            acc.add(value)
+        assert acc.percentile(50) == 50
+        assert acc.percentile(95) == 95
+        assert acc.percentile(99) == 99
+        assert acc.percentile(100) == 100
+
+    def test_reservoir_caps_sample_count(self):
+        from repro.sim.stats import RESERVOIR_CAP
+
+        acc = LatencyAccumulator()
+        for value in range(RESERVOIR_CAP * 3):
+            acc.add(value)
+        assert len(acc.samples) == RESERVOIR_CAP
+        assert acc.count == RESERVOIR_CAP * 3
+        # Reservoir sampling keeps the percentile in the right ballpark.
+        p50 = acc.percentile(50)
+        assert RESERVOIR_CAP * 3 * 0.3 < p50 < RESERVOIR_CAP * 3 * 0.7
+
+    def test_reservoir_is_deterministic(self):
+        a, b = LatencyAccumulator(), LatencyAccumulator()
+        for value in range(10_000):
+            a.add(value)
+            b.add(value)
+        assert a.samples == b.samples
+        assert a == b
+
+    def test_to_dict_round_numbers(self):
+        acc = LatencyAccumulator()
+        for value in (2, 4, 6):
+            acc.add(value)
+        d = acc.to_dict()
+        assert d["count"] == 3
+        assert d["mean"] == pytest.approx(4.0)
+        assert d["p50"] == 4
+
 
 class TestSimStats:
     def make(self):
@@ -53,7 +96,23 @@ class TestSimStats:
         text = stats.summary()
         assert "100 system cycles" in text
         assert "divider 2" in text
-        assert "A:4.0" in text
+        assert "A: p50=4" in text
+        assert "mean 4.0" in text
+
+    def test_summary_handles_no_loads(self):
+        text = SimStats().summary()
+        assert "0 system cycles" in text
+
+    def test_to_dict_is_json_serialisable(self):
+        import json
+
+        stats = self.make()
+        stats.record_load("A", 0, 4)
+        d = stats.to_dict()
+        text = json.dumps(d, sort_keys=True)
+        assert d["system_cycles"] == 100
+        assert d["load_latency"]["A"]["count"] == 1
+        assert "p95" in text
 
 
 class TestMemStats:
