@@ -44,6 +44,77 @@ class MemoryParams:
 
 
 @dataclass(frozen=True)
+class FaultParams:
+    """Deterministic fault-injection knobs (see :mod:`repro.sim.faults`).
+
+    All probabilities default to 0.0 and the whole block defaults to
+    ``None`` on :class:`SimParams`, so the off-path is untouched (and
+    verified bit-identical in ``tests/test_faults.py``). Draws are made
+    *per event* (per memory service, per firing, per FM-NoC grant) from
+    per-category deterministic streams, never per cycle — so the same
+    fault schedule unfolds whether the engine ticks every cycle or
+    event-skips, and enabling one fault category does not perturb the
+    stream of another.
+    """
+
+    #: Seed for every per-category fault stream.
+    seed: int = 0
+    #: Probability a served memory access's response is delayed.
+    mem_delay_prob: float = 0.0
+    #: Extra system cycles added to a delayed response.
+    mem_delay_cycles: int = 8
+    #: Probability a served memory access's response never returns to the
+    #: PE (adversarial: exercises the deadlock detector).
+    mem_drop_prob: float = 0.0
+    #: Probability a would-fire PE is stalled for one fabric tick.
+    pe_stall_prob: float = 0.0
+    #: Probability an FM-NoC port/arbiter grant is withheld for a cycle.
+    grant_skip_prob: float = 0.0
+
+    def __post_init__(self):
+        for name in (
+            "mem_delay_prob", "mem_drop_prob", "pe_stall_prob",
+            "grant_skip_prob",
+        ):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ArchError(f"{name} must be in [0, 1], got {p!r}")
+        if self.mem_delay_cycles < 0:
+            raise ArchError("mem_delay_cycles must be non-negative")
+
+    def active(self) -> bool:
+        """True when any injector can ever fire."""
+        return any(
+            (
+                self.mem_delay_prob,
+                self.mem_drop_prob,
+                self.pe_stall_prob,
+                self.grant_skip_prob,
+            )
+        )
+
+    def signature(self) -> str:
+        """Compact stable string naming this fault model.
+
+        Journaled into sweep manifests so a resume never mistakes a
+        faulted run for a clean one (different signature, different
+        point digest).
+        """
+        parts = [f"seed={self.seed}"]
+        if self.mem_delay_prob:
+            parts.append(
+                f"mem-delay={self.mem_delay_prob}:{self.mem_delay_cycles}"
+            )
+        if self.mem_drop_prob:
+            parts.append(f"mem-drop={self.mem_drop_prob}")
+        if self.pe_stall_prob:
+            parts.append(f"pe-stall={self.pe_stall_prob}")
+        if self.grant_skip_prob:
+            parts.append(f"grant-skip={self.grant_skip_prob}")
+        return ",".join(parts)
+
+
+@dataclass(frozen=True)
 class SimParams:
     """Timed-simulation knobs."""
 
@@ -75,6 +146,11 @@ class SimParams:
     #: When tracing, also collect a Chrome ``trace_event`` timeline and —
     #: if a path is given — write it at the end of the run.
     trace_path: str | None = None
+    #: Deterministic fault injection (see :class:`FaultParams` and
+    #: :mod:`repro.sim.faults`). ``None`` = off; the off-path publishes
+    #: nothing and is verified bit-identical to a build without the
+    #: fault layer.
+    faults: FaultParams | None = None
 
     def __post_init__(self):
         if self.fifo_capacity < 2:

@@ -11,7 +11,11 @@ Commands:
   (load it in Perfetto / ``chrome://tracing``);
 * ``figure`` — regenerate one of the paper's evaluation figures;
 * ``sweep`` — run a (workload x config x seed) sweep, optionally across
-  worker processes sharing a persistent compile cache;
+  worker processes sharing a persistent compile cache; supervised by
+  the resilient sweep layer (``--timeout/--retries/--on-failure``),
+  checkpointed to the manifest journal (``--resume``), and able to
+  inject deterministic faults (``--fault-*``);
+* ``cache`` — inspect, clear, or LRU-prune the persistent compile cache;
 * ``table1`` — regenerate the workload-inventory table;
 * ``dse`` — run the LS-PE placement design-space exploration.
 """
@@ -44,6 +48,7 @@ FIGURES = {
     "fig16": figures_mod.fig16,
     "fig17": figures_mod.fig17,
     "stalls": figures_mod.fig_stalls,
+    "jitter": figures_mod.fig_jitter,
 }
 
 
@@ -163,7 +168,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--scale", default="small")
     p_fig.add_argument(
         "--workloads", nargs="*", default=None,
-        help="subset of workloads (fig11/12/14/15 only)",
+        help="subset of workloads (fig11/12/14/15, stalls, jitter)",
     )
     p_fig.add_argument(
         "--jobs", "-j", type=int, default=1,
@@ -204,6 +209,72 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "--stats-json", default=None, metavar="PATH",
         help="write every run's SimStats as one machine-readable JSON map",
+    )
+    p_sweep.add_argument(
+        "--resume", action="store_true",
+        help="skip points the manifest journal proves already completed "
+        "(requires --manifest; see repro.exp.resilient)",
+    )
+    p_sweep.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job wall-clock budget (SIGALRM in the worker)",
+    )
+    p_sweep.add_argument(
+        "--retries", type=int, default=2,
+        help="retry budget per point for transient failures (default 2)",
+    )
+    p_sweep.add_argument(
+        "--on-failure", choices=["abort", "skip", "retry"], default="abort",
+        help="abort: fail fast (default); skip: record and move on; "
+        "retry: perturb the placement seed for PnR failures, then skip",
+    )
+    p_sweep.add_argument(
+        "--backoff", type=float, default=0.0, metavar="SECONDS",
+        help="base for exponential backoff between retries (default 0)",
+    )
+    fault_group = p_sweep.add_argument_group(
+        "fault injection",
+        "deterministic fault injection (repro.sim.faults); all default "
+        "to off, and an all-off run is bit-identical to a build without "
+        "the fault layer",
+    )
+    fault_group.add_argument("--fault-seed", type=int, default=0)
+    fault_group.add_argument(
+        "--fault-mem-delay-prob", type=float, default=0.0,
+        help="probability a memory response is delayed",
+    )
+    fault_group.add_argument(
+        "--fault-mem-delay-cycles", type=int, default=8,
+        help="delay added to a jittered response (system cycles)",
+    )
+    fault_group.add_argument(
+        "--fault-mem-drop-prob", type=float, default=0.0,
+        help="probability a memory response is dropped (never delivered)",
+    )
+    fault_group.add_argument(
+        "--fault-pe-stall-prob", type=float, default=0.0,
+        help="probability a ready node firing is suppressed for a tick",
+    )
+    fault_group.add_argument(
+        "--fault-grant-skip-prob", type=float, default=0.0,
+        help="probability an FM-NoC arbitration grant is skipped",
+    )
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or maintain the persistent compile cache"
+    )
+    p_cache.add_argument(
+        "action", choices=["info", "clear", "prune"],
+        help="info: show both layers; clear: delete all disk entries; "
+        "prune: evict LRU entries down to --max-size",
+    )
+    p_cache.add_argument(
+        "--cache-dir", default=None,
+        help="cache directory (default: the user cache dir)",
+    )
+    p_cache.add_argument(
+        "--max-size", default="256M", metavar="BYTES",
+        help="prune target; accepts suffixes K/M/G (default 256M)",
     )
 
     p_table = sub.add_parser("table1", help="regenerate Table 1")
@@ -347,7 +418,9 @@ def cmd_trace(args) -> int:
 def cmd_figure(args) -> int:
     fig = FIGURES[args.name]
     kwargs = {"scale": args.scale}
-    if args.workloads and args.name in ("fig11", "fig12", "fig14", "fig15"):
+    if args.workloads and args.name in (
+        "fig11", "fig12", "fig14", "fig15", "stalls", "jitter",
+    ):
         kwargs["workloads"] = args.workloads
     if args.jobs > 1 and args.name == "fig11":
         kwargs["jobs"] = args.jobs
@@ -355,26 +428,70 @@ def cmd_figure(args) -> int:
     return 0
 
 
+def _fault_params(args):
+    """``FaultParams`` from the sweep's fault flags, or None when all off."""
+    from repro.arch.params import FaultParams
+
+    params = FaultParams(
+        seed=args.fault_seed,
+        mem_delay_prob=args.fault_mem_delay_prob,
+        mem_delay_cycles=args.fault_mem_delay_cycles,
+        mem_drop_prob=args.fault_mem_drop_prob,
+        pe_stall_prob=args.fault_pe_stall_prob,
+        grant_skip_prob=args.fault_grant_skip_prob,
+    )
+    return params if params.active() else None
+
+
 def cmd_sweep(args) -> int:
+    from dataclasses import replace
+
     from repro.exp.cache import default_cache_dir
-    from repro.exp.runner import run_parallel
+    from repro.exp.resilient import SweepPolicy, run_resilient
 
     configs = [_config_for(name) for name in args.configs]
     cache_dir = args.cache_dir or default_cache_dir()
-    results = run_parallel(
+    arch = ArchParams()
+    faults = _fault_params(args)
+    if faults is not None:
+        arch = replace(arch, sim=replace(arch.sim, faults=faults))
+        print(f"fault injection on: {faults.signature()}")
+    sweep_policy = SweepPolicy(
+        job_timeout_s=args.timeout,
+        max_retries=args.retries,
+        backoff_s=args.backoff,
+        on_failure=args.on_failure,
+    )
+    outcome = run_resilient(
         args.workloads,
         configs,
         scale=args.scale,
         seeds=tuple(args.seeds),
+        arch=arch,
         max_workers=args.jobs,
         cache_dir=cache_dir,
         manifest_path=args.manifest,
+        sweep_policy=sweep_policy,
+        resume=args.resume,
     )
+    results = outcome.results
     width = max(len(w) for w in args.workloads)
     for (workload, config, seed), run in sorted(results.items()):
         print(
             f"{workload:{width}s} {config:12s} seed={seed} "
             f"{run.cycles:>10d} cycles (output verified)"
+        )
+    if outcome.skipped:
+        print(
+            f"{len(outcome.skipped)} point(s) already journaled; skipped "
+            "(--resume)"
+        )
+    for failure in outcome.failures:
+        print(f"FAILED {failure.describe()}")
+    if outcome.failures:
+        print(
+            f"{len(outcome.failures)} point(s) failed; "
+            f"{len(results)} healthy result(s) above"
         )
     if args.manifest:
         print(f"manifest appended to {args.manifest}")
@@ -387,6 +504,49 @@ def cmd_sweep(args) -> int:
             json.dump(payload, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"stats JSON written to {args.stats_json}")
+    return 1 if outcome.failures else 0
+
+
+def _parse_size(text: str) -> int:
+    """``"256M"`` -> bytes; bare numbers and K/M/G suffixes accepted."""
+    text = text.strip().upper()
+    factor = 1
+    for suffix, mult in (("K", 1 << 10), ("M", 1 << 20), ("G", 1 << 30)):
+        if text.endswith(suffix):
+            text = text[: -len(suffix)]
+            factor = mult
+            break
+    try:
+        return int(float(text) * factor)
+    except ValueError:
+        raise SystemExit(f"unparsable size {text!r}; use e.g. 512K, 64M, 2G")
+
+
+def cmd_cache(args) -> int:
+    from repro.exp.cache import GLOBAL_CACHE, default_cache_dir
+
+    GLOBAL_CACHE.enable_disk(args.cache_dir or default_cache_dir())
+    swept = GLOBAL_CACHE.sweep_stale_tmp()
+    if swept:
+        print(f"swept {swept} stale .tmp file(s)")
+    if args.action == "info":
+        info = GLOBAL_CACHE.info()
+        print(f"disk dir:     {info['disk_dir']}")
+        print(f"disk entries: {info['disk_entries']}")
+        print(f"disk bytes:   {info['disk_bytes']}")
+        print(f"schema:       v{info['schema']}")
+    elif args.action == "clear":
+        removed = GLOBAL_CACHE.clear_disk()
+        print(f"removed {removed} entr{'y' if removed == 1 else 'ies'}")
+    elif args.action == "prune":
+        max_bytes = _parse_size(args.max_size)
+        evicted = GLOBAL_CACHE.prune(max_bytes)
+        info = GLOBAL_CACHE.info()
+        print(
+            f"evicted {evicted} entr{'y' if evicted == 1 else 'ies'}; "
+            f"{info['disk_entries']} remain ({info['disk_bytes']} bytes "
+            f"<= {max_bytes})"
+        )
     return 0
 
 
@@ -444,6 +604,7 @@ COMMANDS = {
     "trace": cmd_trace,
     "figure": cmd_figure,
     "sweep": cmd_sweep,
+    "cache": cmd_cache,
     "table1": cmd_table1,
     "dse": cmd_dse,
     "regions": cmd_regions,

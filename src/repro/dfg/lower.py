@@ -617,6 +617,14 @@ class _Lowerer:
         Memory-ordering pseudo-variables are included according to the
         ordering mode: loads read the array's token; stores read and write
         it; in ``serialize`` mode loads also write it.
+
+        A variable *written inside a nested loop* also counts as a read of
+        the enclosing block: lowering turns it into a loop-carried value
+        whose carry node consumes the incoming binding as its init, so the
+        surrounding region (an ``If`` arm, say) must gate that binding to
+        region cadence exactly as it would any read. Without this, a loop
+        under an untaken branch still receives the ungated init token,
+        which then wedges in the loop's ``exit:`` steer — a token leak.
         """
         reads: set[str] = set()
         writes: set[str] = set()
@@ -645,6 +653,8 @@ class _Lowerer:
                 reads |= expr_vars(stmt.cond)
             elif isinstance(stmt, While):
                 reads |= expr_vars(stmt.cond)
+                # Loop-carried writes consume their init (see docstring).
+                reads |= self._reads_writes(stmt.body)[1]
             elif isinstance(stmt, (For, ParFor)):
                 reads |= (
                     expr_vars(stmt.lo)
@@ -652,6 +662,7 @@ class _Lowerer:
                     | expr_vars(stmt.step)
                 )
                 writes.add(stmt.var)
+                reads |= self._reads_writes(stmt.body)[1]
         return reads, writes
 
 

@@ -47,3 +47,34 @@ class DeadlockError(SimulationError):
 
 class ExperimentError(ReproError):
     """Experiment harness misconfiguration."""
+
+
+class ValidationError(ReproError):
+    """A simulated run computed the wrong answer.
+
+    Carries enough context (workload, output array, index, got/want) for
+    the sweep supervisor to classify wrong-answer runs separately from
+    infrastructure failures — a reference mismatch is a *correctness*
+    bug, never something a retry can fix.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        workload: str | None = None,
+        array: str | None = None,
+        index: int | None = None,
+        got=None,
+        want=None,
+    ):
+        super().__init__(message)
+        self.workload = workload
+        self.array = array
+        self.index = index
+        self.got = got
+        self.want = want
+
+
+class JobTimeout(ReproError):
+    """A supervised sweep job exceeded its per-job wall-clock budget."""

@@ -22,6 +22,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import time
 from pathlib import Path
 
 from repro.pnr.result import CompiledKernel
@@ -76,7 +77,7 @@ class CompileCache:
         except OSError:
             return None
         try:
-            return pickle.loads(blob)
+            compiled = pickle.loads(blob)
         except Exception:
             # Torn/stale entry: drop it and recompile.
             try:
@@ -84,6 +85,11 @@ class CompileCache:
             except OSError:
                 pass
             return None
+        try:
+            os.utime(path)  # refresh LRU timestamp for prune()
+        except OSError:
+            pass
+        return compiled
 
     def _disk_store(self, key: tuple, compiled: CompiledKernel) -> None:
         self.disk_dir.mkdir(parents=True, exist_ok=True)
@@ -125,6 +131,101 @@ class CompileCache:
         self.hits = 0
         self.misses = 0
         self.disk_hits = 0
+
+    # -- maintenance (``repro cache`` CLI) ---------------------------------
+
+    def _disk_entries(self) -> list[Path]:
+        """The ``.pkl`` entries currently on disk (empty when disk off)."""
+        if self.disk_dir is None or not self.disk_dir.is_dir():
+            return []
+        return sorted(self.disk_dir.glob("*.pkl"))
+
+    def info(self) -> dict:
+        """Inventory of both layers, JSON-friendly."""
+        entries = self._disk_entries()
+        sizes = []
+        for path in entries:
+            try:
+                sizes.append(path.stat().st_size)
+            except OSError:
+                continue
+        return {
+            "schema": CACHE_SCHEMA_VERSION,
+            "memory_entries": len(self._store),
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_hits": self.disk_hits,
+            "disk_dir": str(self.disk_dir) if self.disk_dir else None,
+            "disk_entries": len(sizes),
+            "disk_bytes": sum(sizes),
+        }
+
+    def clear_disk(self) -> int:
+        """Delete every on-disk entry (and stray temp files); returns count
+        of entries removed. The in-memory layer is cleared too, so a
+        cleared cache cannot resurrect entries by writing them back."""
+        removed = 0
+        for path in self._disk_entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        self.sweep_stale_tmp(max_age_s=0.0)
+        self.clear()
+        return removed
+
+    def prune(self, max_bytes: int) -> int:
+        """Evict least-recently-used disk entries until the store fits in
+        ``max_bytes``. LRU order comes from ``st_mtime`` — ``os.replace``
+        sets it on write, and :meth:`_disk_load` refreshes it on hit via
+        ``os.utime``, so untouched entries age out first. Returns the
+        number of entries evicted."""
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be non-negative")
+        stamped = []
+        total = 0
+        for path in self._disk_entries():
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            stamped.append((st.st_mtime, st.st_size, path))
+            total += st.st_size
+        stamped.sort()  # oldest first
+        evicted = 0
+        for _, size, path in stamped:
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            evicted += 1
+        return evicted
+
+    def sweep_stale_tmp(self, max_age_s: float = 3600.0) -> int:
+        """Remove ``.tmp`` droppings older than ``max_age_s``.
+
+        A worker killed mid-:meth:`_disk_store` (OOM, SIGKILL, power
+        loss) leaks its ``mkstemp`` file: the ``os.replace`` never runs
+        and the exception handler never fires. Entries are written in one
+        go, so any ``.tmp`` older than the grace period is garbage — a
+        *live* write's temp file is at most seconds old. Returns the
+        number of files removed."""
+        if self.disk_dir is None or not self.disk_dir.is_dir():
+            return 0
+        cutoff = time.time() - max_age_s
+        removed = 0
+        for path in self.disk_dir.glob("*.tmp"):
+            try:
+                if path.stat().st_mtime <= cutoff:
+                    path.unlink()
+                    removed += 1
+            except OSError:
+                continue
+        return removed
 
 
 #: Process-wide cache used by the experiment harness and benchmarks.

@@ -39,10 +39,19 @@ class FigureResult:
     notes: list[str] = field(default_factory=list)
 
     def geomean(self, column: str) -> float:
+        """Geometric mean over the column's finite positive values.
+
+        ``None`` cells (points a resilient sweep failed to produce — see
+        :mod:`repro.exp.resilient`) and non-finite values are skipped, so
+        a partial figure still reports the geomean of what it has.
+        """
         values = [
             row[column]
             for row in self.rows.values()
-            if column in row and row[column] > 0
+            if column in row
+            and row[column] is not None
+            and math.isfinite(row[column])
+            and row[column] > 0
         ]
         if not values:
             return 0.0
@@ -148,12 +157,19 @@ def fig11(
     workloads=None,
     arch=None,
     jobs: int = 1,
+    sweep_policy=None,
 ) -> FigureResult:
     """Monaco vs Ideal / UPEA2 / NUMA-UPEA2 across workloads (Fig. 11).
 
     ``jobs > 1`` fans the (workload x config) sweep out over worker
     processes via :func:`repro.exp.runner.run_parallel`; rows are
     bit-identical to the serial sweep (the simulator is deterministic).
+
+    ``sweep_policy`` (a :class:`repro.exp.resilient.SweepPolicy` with
+    ``on_failure != "abort"``) renders whatever the sweep salvaged:
+    failed points become ``None`` cells (shown as ``-`` by
+    ``format_figure``), each gap is called out in ``notes``, and the
+    geomeans cover the surviving rows only.
     """
     arch = arch or ArchParams()
     fabric = monaco(12, 12)
@@ -164,11 +180,11 @@ def fig11(
         [c.name for c in configs],
     )
     names = _workload_list(workloads)
-    if jobs > 1:
+    if jobs > 1 or sweep_policy is not None:
         from repro.exp.cache import GLOBAL_CACHE
-        from repro.exp.runner import run_parallel
+        from repro.exp.resilient import run_resilient
 
-        runs = run_parallel(
+        outcome = run_resilient(
             names,
             configs,
             scale=scale,
@@ -176,11 +192,21 @@ def fig11(
             arch=arch,
             max_workers=jobs,
             cache_dir=GLOBAL_CACHE.disk_dir,
+            sweep_policy=sweep_policy,
         )
         per_workload = {
-            name: {c.name: runs[(name, c.name, seed)].cycles for c in configs}
+            name: {
+                c.name: (
+                    outcome.results[(name, c.name, seed)].cycles
+                    if (name, c.name, seed) in outcome.results
+                    else None
+                )
+                for c in configs
+            }
             for name in names
         }
+        for failure in outcome.failures:
+            result.notes.append(f"gap: {failure.describe()}")
     else:
         per_workload = {}
         for name in names:
@@ -194,9 +220,20 @@ def fig11(
             }
     for name in names:
         cycles = per_workload[name]
-        base = cycles["monaco"]
+        base = cycles.get("monaco")
         result.raw[name] = dict(cycles)
-        result.rows[name] = {k: v / base for k, v in cycles.items()}
+        if base:
+            result.rows[name] = {
+                k: (v / base if v is not None else None)
+                for k, v in cycles.items()
+            }
+        else:
+            # The Monaco baseline itself failed: nothing to normalize
+            # against, so the whole row renders as gaps.
+            result.rows[name] = {k: None for k in cycles}
+            result.notes.append(
+                f"gap: {name} has no monaco baseline; row unnormalized"
+            )
     for column, paper in (
         ("upea2", "+28% (paper)"),
         ("numa-upea2", "+20% (paper)"),
@@ -323,6 +360,84 @@ def fig15(
         workloads,
         arch,
     )
+
+
+def fig_jitter(
+    scale: str = "small",
+    seed: int = 0,
+    workloads=None,
+    arch=None,
+    probs=(0.01, 0.05),
+    delay_cycles: int = 8,
+    fault_seed: int = 0,
+) -> FigureResult:
+    """Supplementary: NUPEA vs UPEA2 under injected memory jitter.
+
+    Uses the deterministic fault layer (:mod:`repro.sim.faults`) to add
+    ``delay_cycles`` system cycles to each memory response with
+    probability ``p``, then reports each configuration's slowdown
+    relative to its own clean run. The question this answers: does
+    NUPEA's advantage survive a memory system with realistic latency
+    noise, or is it an artifact of perfectly predictable service times?
+    Every faulted run still validates its output — jitter moves
+    responses in time, never corrupts them.
+    """
+    from dataclasses import replace
+
+    from repro.arch.params import FaultParams
+
+    arch = arch or ArchParams()
+    fabric = monaco(12, 12)
+    configs = [MONACO, upea(2)]
+    columns = [f"{c.name}@p{p}" for c in configs for p in probs]
+    result = FigureResult(
+        "fig_jitter",
+        f"Slowdown under memory-response jitter (+{delay_cycles} system "
+        "cycles w.p. p), each config normalized to its own clean run",
+        columns,
+    )
+    for name in _workload_list(workloads):
+        instance = make_workload(name, scale=scale, seed=seed)
+        compiled = compile_cached(
+            instance, fabric, arch, policy=EFFCC, seed=seed
+        )
+        row, raw = {}, {}
+        for config in configs:
+            clean = run_config(instance, compiled, config, arch).cycles
+            raw[f"{config.name}@clean"] = float(clean)
+            for p in probs:
+                faulted = replace(
+                    arch,
+                    sim=replace(
+                        arch.sim,
+                        faults=FaultParams(
+                            seed=fault_seed,
+                            mem_delay_prob=p,
+                            mem_delay_cycles=delay_cycles,
+                        ),
+                    ),
+                )
+                cycles = run_config(
+                    instance, compiled, config, faulted
+                ).cycles
+                row[f"{config.name}@p{p}"] = cycles / clean
+                raw[f"{config.name}@p{p}"] = float(cycles)
+        result.rows[name] = row
+        result.raw[name] = raw
+    for p in probs:
+        nupea = result.geomean(f"monaco@p{p}")
+        upea2 = result.geomean(f"upea2@p{p}")
+        result.notes.append(
+            f"p={p}: geomean slowdown monaco {nupea:.3f} vs "
+            f"upea2 {upea2:.3f} "
+            f"({'NUPEA more jitter-tolerant' if nupea <= upea2 else 'UPEA more jitter-tolerant'})"
+        )
+    result.notes.append(
+        "faulted runs reuse the clean compile and still validate their "
+        "outputs; fault draws are per-event, so results are independent "
+        "of the cycle-skip setting"
+    )
+    return result
 
 
 #: Fabric sizes and NoC track counts evaluated in Fig. 16/17.

@@ -8,13 +8,19 @@ meaningless.
 ``ProcessPoolExecutor``; simulation and PnR are deterministic, so the
 parallel sweep is bit-identical to the serial one, and an on-disk compile
 cache (see :mod:`repro.exp.cache`) shares PnR results between workers.
+
+Both :func:`run_parallel` and :func:`run_workload_on_configs` run their
+jobs under the resilient sweep supervisor (:mod:`repro.exp.resilient`):
+pass a :class:`~repro.exp.resilient.SweepPolicy` to get per-job
+timeouts, retries with deterministic placement-seed perturbation, and
+typed failure records instead of a crashed sweep. The default policy is
+fail-fast ``abort`` — exactly the historical behavior.
 """
 
 from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.arch.fabric import Fabric, build_fabric, monaco
@@ -40,6 +46,14 @@ FabricSpec = tuple[str, int, int]
 DEFAULT_FABRIC_SPEC: FabricSpec = ("monaco", 12, 12)
 
 
+def _fault_signature(arch: ArchParams) -> str | None:
+    """Stable fault-model signature for manifest/journal records."""
+    faults = arch.sim.faults
+    if faults is None or not faults.active():
+        return None
+    return faults.signature()
+
+
 @dataclass
 class RunResult:
     workload: str
@@ -52,6 +66,11 @@ class RunResult:
     wall_time: float = field(default=0.0, compare=False)
     #: Observability bus of the run (tracing on only), for profiling.
     obs: object = field(default=None, compare=False, repr=False)
+    #: Placement seed the supervisor actually compiled with when a PnR
+    #: retry perturbed it (None = the point's own seed). Journaled so
+    #: retried results stay reproducible; excluded from equality so a
+    #: retried run still compares equal to a direct run of that seed.
+    pnr_seed: int | None = field(default=None, compare=False)
 
 
 def compile_cached(
@@ -127,20 +146,39 @@ def run_workload_on_configs(
     policy: PlacementPolicy = EFFCC,
     divider: int = PAPER_DIVIDER,
     manifest_path: str | os.PathLike | None = None,
+    sweep_policy=None,
+    failures: list | None = None,
 ) -> dict[str, RunResult]:
     """Compile once, then simulate under each interconnect config.
 
     ``manifest_path`` appends one JSONL record per config (the serial
     twin of :func:`run_parallel`'s manifest emission).
+
+    ``sweep_policy`` (a :class:`repro.exp.resilient.SweepPolicy`) puts
+    each config's run under supervision: with ``on_failure`` other than
+    ``"abort"``, failing configs are recorded as
+    :class:`~repro.exp.resilient.FailureRecord` s (appended to the
+    ``failures`` list when given, and journaled to the manifest) while
+    the healthy configs still return.
     """
+    from repro.exp.resilient import (
+        ABORT,
+        PNR_KINDS,
+        PNR_SEED_STRIDE,
+        FailureRecord,
+        call_with_timeout,
+        classify_failure,
+    )
+
     arch = arch or ArchParams()
     fabric = fabric or monaco(12, 12)
+    sweep_policy = sweep_policy or ABORT
+    faults_sig = _fault_signature(arch)
+    fabric_spec = (fabric.name, fabric.rows, fabric.cols)
     instance = make_workload(name, scale=scale, seed=seed)
-    compiled = compile_cached(instance, fabric, arch, policy=policy, seed=seed)
     results: dict[str, RunResult] = {}
-    for config in configs:
-        run = run_config(instance, compiled, config, arch, divider)
-        results[config.name] = run
+
+    def emit(run: RunResult) -> None:
         if manifest_path is not None:
             append_manifest(
                 manifest_path,
@@ -149,10 +187,76 @@ def run_workload_on_configs(
                     scale=scale,
                     seed=seed,
                     divider=divider,
-                    fabric_spec=(fabric.name, fabric.rows, fabric.cols),
+                    fabric_spec=fabric_spec,
                     policy=policy.name,
+                    faults=faults_sig,
                 ),
             )
+
+    def one_config(config: MachineConfig, pnr_seed: int | None) -> RunResult:
+        compiled = compile_cached(
+            instance,
+            fabric,
+            arch,
+            policy=policy,
+            seed=seed if pnr_seed is None else pnr_seed,
+        )
+        run = run_config(instance, compiled, config, arch, divider)
+        run.pnr_seed = pnr_seed
+        return run
+
+    for config in configs:
+        attempts = 0
+        pnr_seed: int | None = None
+        pnr_seeds: list[int] = []
+        while True:
+            try:
+                run = call_with_timeout(
+                    sweep_policy.job_timeout_s,
+                    lambda: one_config(config, pnr_seed),
+                    label=f"{name}/{config.name}/seed{seed}",
+                )
+            except Exception as exc:
+                kind = classify_failure(exc)
+                attempts += 1
+                if sweep_policy.on_failure == "abort":
+                    raise
+                if sweep_policy.wants_retry(kind, attempts):
+                    if kind in PNR_KINDS:
+                        pnr_seed = seed + PNR_SEED_STRIDE * attempts
+                        pnr_seeds.append(pnr_seed)
+                    if sweep_policy.backoff_s:
+                        time.sleep(
+                            sweep_policy.backoff_s * (2 ** (attempts - 1))
+                        )
+                    continue
+                failure = FailureRecord(
+                    workload=name,
+                    config=config.name,
+                    seed=seed,
+                    kind=kind,
+                    message=str(exc),
+                    attempts=attempts,
+                    pnr_seeds=tuple(pnr_seeds),
+                )
+                if failures is not None:
+                    failures.append(failure)
+                if manifest_path is not None:
+                    append_manifest(
+                        manifest_path,
+                        failure.to_manifest(
+                            scale=scale,
+                            divider=divider,
+                            fabric_spec=fabric_spec,
+                            policy=policy.name,
+                            faults=faults_sig,
+                        ),
+                    )
+                break
+            else:
+                results[config.name] = run
+                emit(run)
+                break
     return results
 
 
@@ -169,15 +273,46 @@ def _run_sweep_job(
     policy_name: str,
     fabric_spec: FabricSpec,
     cache_dir: str | None,
+    pnr_seed: int | None = None,
+    timeout_s: float | None = None,
 ) -> RunResult:
-    """One (workload, config, seed) point; runs inside a worker process."""
-    if cache_dir is not None and GLOBAL_CACHE.disk_dir is None:
+    """One (workload, config, seed) point; runs inside a worker process.
+
+    ``pnr_seed`` overrides the *placement* seed only (the supervisor's
+    deterministic perturbation on PnR retry); the workload's input seed
+    is always ``seed``. ``timeout_s`` arms a ``SIGALRM`` wall-clock
+    budget around compile+simulate (see
+    :func:`repro.exp.resilient.call_with_timeout`).
+    """
+    from repro.exp.resilient import call_with_timeout
+
+    if cache_dir is not None and (
+        GLOBAL_CACHE.disk_dir is None
+        or str(GLOBAL_CACHE.disk_dir) != cache_dir
+    ):
+        # Always point at the *requested* dir: warm in-process reuse
+        # (max_workers <= 1) must not silently keep a previous sweep's
+        # cache directory.
         GLOBAL_CACHE.enable_disk(cache_dir)
-    policy = get_policy(policy_name)
-    fabric = build_fabric(*fabric_spec)
-    instance = make_workload(name, scale=scale, seed=seed)
-    compiled = compile_cached(instance, fabric, arch, policy=policy, seed=seed)
-    return run_config(instance, compiled, config, arch, divider)
+
+    def job() -> RunResult:
+        policy = get_policy(policy_name)
+        fabric = build_fabric(*fabric_spec)
+        instance = make_workload(name, scale=scale, seed=seed)
+        compiled = compile_cached(
+            instance,
+            fabric,
+            arch,
+            policy=policy,
+            seed=seed if pnr_seed is None else pnr_seed,
+        )
+        run = run_config(instance, compiled, config, arch, divider)
+        run.pnr_seed = pnr_seed
+        return run
+
+    return call_with_timeout(
+        timeout_s, job, label=f"{name}/{config.name}/seed{seed}"
+    )
 
 
 def run_parallel(
@@ -192,6 +327,8 @@ def run_parallel(
     max_workers: int | None = None,
     cache_dir: str | os.PathLike | None = None,
     manifest_path: str | os.PathLike | None = None,
+    sweep_policy=None,
+    resume: bool = False,
 ) -> dict[tuple[str, str, int], RunResult]:
     """Fan (workload x config x seed) out over worker processes.
 
@@ -209,51 +346,31 @@ def run_parallel(
     :mod:`repro.obs.manifest`). Records are written by the parent in job
     order, so serial and parallel sweeps produce identical manifests up
     to the volatile ``wall_time_s``/``timestamp`` fields.
+
+    This is the results-only facade over
+    :func:`repro.exp.resilient.run_resilient`: with the default
+    fail-fast policy the first failure raises, exactly as before the
+    supervisor existed. Pass ``sweep_policy`` / ``resume`` for graceful
+    degradation — but use :func:`~repro.exp.resilient.run_resilient`
+    directly when you need the typed
+    :class:`~repro.exp.resilient.FailureRecord` s and the skipped-point
+    list, since this facade returns the healthy results alone.
     """
-    arch = arch or ArchParams()
-    cache_str = str(cache_dir) if cache_dir is not None else None
-    jobs = [
-        (name, config, seed)
-        for name in workloads
-        for config in configs
-        for seed in seeds
-    ]
+    from repro.exp.resilient import run_resilient
 
-    def emit(run: RunResult, seed: int) -> None:
-        if manifest_path is None:
-            return
-        append_manifest(
-            manifest_path,
-            build_manifest(
-                run,
-                scale=scale,
-                seed=seed,
-                divider=divider,
-                fabric_spec=fabric_spec,
-                policy=policy.name,
-            ),
-        )
-
-    results: dict[tuple[str, str, int], RunResult] = {}
-    if max_workers is not None and max_workers <= 1:
-        for name, config, seed in jobs:
-            run = _run_sweep_job(
-                name, config, scale, seed, arch, divider,
-                policy.name, fabric_spec, cache_str,
-            )
-            results[(name, config.name, seed)] = run
-            emit(run, seed)
-        return results
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        futures = {
-            (name, config.name, seed): pool.submit(
-                _run_sweep_job,
-                name, config, scale, seed, arch, divider,
-                policy.name, fabric_spec, cache_str,
-            )
-            for name, config, seed in jobs
-        }
-        for key, future in futures.items():
-            results[key] = future.result()
-            emit(results[key], key[2])
-    return results
+    outcome = run_resilient(
+        workloads,
+        configs,
+        scale=scale,
+        seeds=seeds,
+        arch=arch,
+        policy=policy,
+        divider=divider,
+        fabric_spec=fabric_spec,
+        max_workers=max_workers,
+        cache_dir=cache_dir,
+        manifest_path=manifest_path,
+        sweep_policy=sweep_policy,
+        resume=resume,
+    )
+    return outcome.results

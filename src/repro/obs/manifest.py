@@ -1,4 +1,4 @@
-"""Structured JSONL run manifests.
+"""Structured JSONL run manifests — and the sweep's resume journal.
 
 Every harness run can append one JSON object per (workload, config, seed)
 point to a manifest file: what ran (config digest), where (git revision,
@@ -7,6 +7,18 @@ fabric), how long (wall time) and what it measured (the full
 ``summary()`` text, and two manifests of the same sweep — serial or
 parallel, any ``--jobs`` — differ only in ``wall_time_s`` and
 ``timestamp``.
+
+The manifest doubles as the resilient sweep's checkpoint journal
+(see :mod:`repro.exp.resilient`): every record carries a ``status``
+(``"ok"`` / ``"failed"``) and a ``point_digest`` — a stable digest of the
+*pre-run* point configuration (workload, config, scale, seed, divider,
+fabric, policy, fault signature; everything except run outputs). On
+``sweep --resume`` a point is skipped only when the journal holds an
+``ok`` record whose stored digest both matches the digest recomputed
+from the record's own fields (integrity: a hand-edited or truncated
+journal entry is ignored) and equals the digest of the point about to
+run (staleness: a journal written under any other sweep configuration —
+different scale, policy, fabric, fault model — can never poison a run).
 """
 
 from __future__ import annotations
@@ -18,7 +30,8 @@ import subprocess
 import time
 
 #: Manifest schema version; bump on incompatible layout changes.
-MANIFEST_SCHEMA = 1
+#: v2: ``status``, ``point_digest`` and ``faults`` fields (resume journal).
+MANIFEST_SCHEMA = 2
 
 #: Keys that legitimately differ between two runs of the same point.
 VOLATILE_KEYS = ("wall_time_s", "timestamp", "git_rev")
@@ -48,6 +61,40 @@ def config_digest(fields: dict) -> str:
     return hashlib.sha256(payload).hexdigest()[:16]
 
 
+def point_fields(
+    *,
+    workload: str,
+    config: str,
+    scale: str,
+    seed: int,
+    divider: int,
+    fabric=None,
+    policy: str | None = None,
+    faults: str | None = None,
+) -> dict:
+    """The *pre-run* identity of one sweep point.
+
+    Everything here is known before the point executes (unlike e.g. the
+    PnR-chosen parallelism), so the resume journal can match records
+    against points it has not run yet.
+    """
+    return {
+        "workload": workload,
+        "config": config,
+        "scale": scale,
+        "seed": seed,
+        "divider": divider,
+        "fabric": list(fabric) if fabric else None,
+        "policy": policy,
+        "faults": faults,
+    }
+
+
+def point_digest(**fields) -> str:
+    """Stable digest of one sweep point's pre-run identity."""
+    return config_digest(point_fields(**fields))
+
+
 def build_manifest(
     run,
     *,
@@ -56,22 +103,27 @@ def build_manifest(
     divider: int,
     fabric_spec=None,
     policy: str | None = None,
+    faults: str | None = None,
     extra: dict | None = None,
 ) -> dict:
     """One manifest record for a :class:`~repro.exp.runner.RunResult`."""
-    config_fields = {
-        "workload": run.workload,
-        "config": run.config,
-        "scale": scale,
-        "seed": seed,
-        "divider": divider,
-        "fabric": list(fabric_spec) if fabric_spec else None,
-        "policy": policy,
-        "parallelism": run.parallelism,
-    }
+    identity = point_fields(
+        workload=run.workload,
+        config=run.config,
+        scale=scale,
+        seed=seed,
+        divider=divider,
+        fabric=fabric_spec,
+        policy=policy,
+        faults=faults,
+    )
+    config_fields = {**identity, "parallelism": run.parallelism}
+    pnr_seed = getattr(run, "pnr_seed", None)
     record = {
         "schema": MANIFEST_SCHEMA,
+        "status": "ok",
         "digest": config_digest(config_fields),
+        "point_digest": config_digest(identity),
         **config_fields,
         "git_rev": git_rev(),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
@@ -79,9 +131,52 @@ def build_manifest(
         "cycles": run.cycles,
         "stats": run.stats.to_dict(),
     }
+    if pnr_seed is not None and pnr_seed != seed:
+        # The supervisor retried PnR under a perturbed placement seed;
+        # journal it so the result stays reproducible from the record.
+        record["pnr_seed"] = pnr_seed
     if extra:
         record.update(extra)
     return record
+
+
+def completed_points(path) -> set[str]:
+    """Point digests the journal proves completed successfully.
+
+    Only ``status == "ok"`` records of the current schema count, and
+    only when the stored ``point_digest`` matches the digest recomputed
+    from the record's own fields — a tampered, truncated or
+    stale-schema entry is silently ignored rather than trusted.
+    """
+    try:
+        records = read_manifest(path, strict=False)
+    except OSError:
+        return set()
+    done: set[str] = set()
+    for record in records:
+        if record.get("schema") != MANIFEST_SCHEMA:
+            continue
+        if record.get("status", "ok") != "ok":
+            continue
+        stored = record.get("point_digest")
+        if not stored:
+            continue
+        try:
+            recomputed = point_digest(
+                workload=record["workload"],
+                config=record["config"],
+                scale=record["scale"],
+                seed=record["seed"],
+                divider=record["divider"],
+                fabric=record.get("fabric"),
+                policy=record.get("policy"),
+                faults=record.get("faults"),
+            )
+        except KeyError:
+            continue
+        if stored == recomputed:
+            done.add(stored)
+    return done
 
 
 def append_manifest(path, record: dict) -> None:
@@ -90,14 +185,24 @@ def append_manifest(path, record: dict) -> None:
         handle.write(json.dumps(record, sort_keys=True) + "\n")
 
 
-def read_manifest(path) -> list[dict]:
-    """Parse a JSONL manifest back into records."""
+def read_manifest(path, strict: bool = True) -> list[dict]:
+    """Parse a JSONL manifest back into records.
+
+    ``strict=False`` skips unparsable lines instead of raising — a sweep
+    killed mid-append leaves a torn final line, and the resume journal
+    must survive that (losing at most the record being written).
+    """
     records = []
     with open(path) as handle:
         for line in handle:
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            try:
                 records.append(json.loads(line))
+            except json.JSONDecodeError:
+                if strict:
+                    raise
     return records
 
 

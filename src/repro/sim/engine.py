@@ -87,6 +87,10 @@ def simulate(
     dfg = compiled.dfg
     divider = divider or compiled.timing.clock_divider
 
+    from repro.sim.faults import make_injector
+
+    injector = make_injector(arch.sim)
+
     memory: dict[str, list] = {}
     for name, size in dfg.arrays.items():
         if arrays and name in arrays:
@@ -115,9 +119,12 @@ def simulate(
     if obs is not None:
         memsys.obs = obs
         frontend.obs = obs
+    if injector is not None:
+        memsys.faults = injector
+        frontend.faults = injector
     engine = _Engine(
         compiled, params, arch, divider, memsys, frontend, address_map,
-        obs=obs,
+        obs=obs, faults=injector,
     )
     stats = engine.run()
     stats.frontend = getattr(frontend, "name", type(frontend).__name__)
@@ -132,7 +139,7 @@ def simulate(
 class _Engine:
     def __init__(
         self, compiled, params, arch, divider, memsys, frontend,
-        address_map, obs=None,
+        address_map, obs=None, faults=None,
     ):
         self.compiled = compiled
         self.dfg: DFG = compiled.dfg
@@ -182,6 +189,9 @@ class _Engine:
         #: Observability bus, or None (tracing off — the zero-overhead
         #: contract: every publish site below is gated on this check).
         self.obs = obs
+        #: Fault injector, or None (off — same zero-overhead contract:
+        #: every consult site below is gated on this check).
+        self.faults = faults
         #: Per-tick scratch for attribution (None while tracing is off).
         self._tick_fired: set[int] | None = None
         self._tick_fifo_full: set[int] | None = None
@@ -305,6 +315,8 @@ class _Engine:
                     now = target
         self.stats.system_cycles = now
         self.stats.mem = self.memsys.stats
+        if self.faults is not None:
+            self.stats.faults_injected = self.faults.counts()
         self._check_final_state()
         return self.stats
 
@@ -497,6 +509,12 @@ class _Engine:
             elif decision.emit is not NO_EMIT and not self.can_emit(nid):
                 self.active.discard(nid)
                 continue
+            if self.faults is not None and self.faults.stall_pe():
+                # Injected PE stall: the firing was legal but is
+                # suppressed this tick. The node stays active and
+                # retries at the next fabric tick (so the cycle-skip
+                # scheduler still schedules it).
+                continue
             # Commit the firing.
             for index in decision.pops:
                 queue = self.fifos.queues[(nid, index)]
@@ -570,12 +588,18 @@ class _Engine:
             fifos = ", ".join(
                 f"{port}:{depth}" for port, depth in occupancy.items()
             )
+            dropped = sum(
+                1
+                for record in self.resp_queue.get(nid, ())
+                if record.dropped
+            )
+            lost = f" ({dropped} dropped by fault injection)" if dropped else ""
             entries.append(
                 (
                     -(held + outstanding),
                     nid,
                     f"node {nid} ({node.op} {node.tag!r}) [{reason}] "
-                    f"fifos {{{fifos}}} mem-outstanding {outstanding}",
+                    f"fifos {{{fifos}}} mem-outstanding {outstanding}{lost}",
                 )
             )
         entries.sort()

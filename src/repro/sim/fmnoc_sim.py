@@ -36,6 +36,8 @@ class MonacoFrontend:
     name = "monaco"
     #: Observability bus (see :mod:`repro.obs`); None = tracing off.
     obs = None
+    #: Fault injector (see :mod:`repro.sim.faults`); None = off.
+    faults = None
 
     def __init__(self, fabric: Fabric):
         self.fabric = fabric
@@ -99,6 +101,13 @@ class MonacoFrontend:
                 source = sources[(start + offset) % len(sources)]
                 record = self._take(source)
                 if record is not None:
+                    if self.faults is not None and self.faults.skip_grant():
+                        # Injected grant glitch: the port granted this
+                        # source but the transfer is withheld; the
+                        # request stays where it was and the port wastes
+                        # the cycle.
+                        self._put_back(source, record)
+                        break
                     self.port_rr[port] = (start + offset + 1) % len(sources)
                     self.in_network -= 1
                     deliver(record)
@@ -120,6 +129,12 @@ class MonacoFrontend:
                 source = arbiter.sources[(start + offset) % len(arbiter.sources)]
                 record = self._take(source)
                 if record is not None:
+                    if self.faults is not None and self.faults.skip_grant():
+                        # Injected grant glitch: the stage keeps its
+                        # latch empty this cycle and the request stays
+                        # at its source.
+                        self._put_back(source, record)
+                        break
                     arbiter.rr = (start + offset + 1) % len(arbiter.sources)
                     arbiter.latch = record
                     if self.obs is not None:
@@ -141,6 +156,13 @@ class MonacoFrontend:
         if queue:
             return queue.popleft()
         return None
+
+    def _put_back(self, source, record: RequestRecord) -> None:
+        """Undo a :meth:`_take` (fault-injected grant withheld)."""
+        if isinstance(source, ArbiterId):
+            self.arbiters[source].latch = record
+        else:
+            self.pe_queues[source].appendleft(record)
 
     def busy(self) -> bool:
         if any(self.pe_queues.values()):

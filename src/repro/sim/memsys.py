@@ -45,6 +45,10 @@ class RequestRecord:
     arrived_cycle: int | None = None
     value: int | float | None = None
     hit: bool | None = None
+    #: True when fault injection swallowed the response (the access was
+    #: served — data read/written — but the reply never returns; see
+    #: :mod:`repro.sim.faults`). Diagnostic only.
+    dropped: bool = False
 
 
 @dataclass
@@ -109,6 +113,8 @@ class MemorySystem:
         self.stats = MemStats()
         #: Observability bus (see :mod:`repro.obs`); None = tracing off.
         self.obs = None
+        #: Fault injector (see :mod:`repro.sim.faults`); None = off.
+        self.faults = None
 
     def enqueue(self, record: RequestRecord, now: int) -> None:
         """A request arrives at its bank's queue."""
@@ -150,6 +156,18 @@ class MemorySystem:
         self.stats.record_service(record)
         if self.obs is not None:
             self.obs.mem_service(now, record)
+        if self.faults is not None:
+            # Draw both streams per service event (even when the drop
+            # wins) so enabling one category never shifts the other's
+            # schedule.
+            dropped = self.faults.drop_response()
+            record.complete_cycle += self.faults.delay_response()
+            if dropped:
+                # The access was performed, but the response vanishes in
+                # the network: the issuing PE waits forever, and the
+                # deadlock detector must catch it.
+                record.dropped = True
+                return
         self._order += 1
         heapq.heappush(
             self._completions, (record.complete_cycle, self._order, record)

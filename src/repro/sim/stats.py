@@ -113,6 +113,9 @@ class SimStats:
     executed_cycles: int = field(default=0, compare=False)
     #: System cycles the scheduler jumped over as provably idle.
     skipped_cycles: int = field(default=0, compare=False)
+    #: Fault injections actually performed (empty when injection is off,
+    #: so clean runs stay bit-identical to pre-fault-layer builds).
+    faults_injected: dict[str, int] = field(default_factory=dict)
 
     @property
     def fabric_cycles(self) -> int:
@@ -192,4 +195,9 @@ class SimStats:
                 for domain, acc in sorted(self.domain_latency.items())
                 if acc.count
             },
+            **(
+                {"faults_injected": dict(sorted(self.faults_injected.items()))}
+                if self.faults_injected
+                else {}
+            ),
         }

@@ -29,6 +29,11 @@ class UniformFrontend:
     name = "upea"
     #: Observability bus (see :mod:`repro.obs`); None = tracing off.
     obs = None
+    #: Fault injector (see :mod:`repro.sim.faults`); None = off. The
+    #: uniform frontends are contention-free pipes, so they have no
+    #: grants to perturb — memory-response faults still apply to them
+    #: through :class:`repro.sim.memsys.MemorySystem`.
+    faults = None
 
     def __init__(self, delay_system_cycles: int):
         if delay_system_cycles < 0:

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import ReproError
+from repro.errors import ReproError, ValidationError
 from repro.ir.ast import Kernel
 
 #: Input scales. ``tiny`` keeps unit tests fast; ``small`` drives the
@@ -32,25 +32,45 @@ class WorkloadInstance:
     meta: dict = field(default_factory=dict)
 
     def check(self, memory: dict[str, list]) -> None:
-        """Raise if ``memory`` disagrees with the reference outputs."""
+        """Raise :class:`ValidationError` if ``memory`` disagrees with the
+        reference outputs.
+
+        The error carries (workload, array, index, got, want) so the sweep
+        supervisor (:mod:`repro.exp.resilient`) can classify wrong-answer
+        runs separately from infrastructure failures.
+        """
         for name in self.outputs:
             got = memory[name]
             want = self.reference[name]
             if len(got) != len(want):
-                raise ReproError(
+                raise ValidationError(
                     f"{self.name}: output {name!r} length {len(got)} != "
-                    f"{len(want)}"
+                    f"{len(want)}",
+                    workload=self.name,
+                    array=name,
+                    got=len(got),
+                    want=len(want),
                 )
             for i, (g, w) in enumerate(zip(got, want)):
                 if self.tolerance:
                     if abs(g - w) > self.tolerance:
-                        raise ReproError(
+                        raise ValidationError(
                             f"{self.name}: {name}[{i}] = {g} != {w} "
-                            f"(tol {self.tolerance})"
+                            f"(tol {self.tolerance})",
+                            workload=self.name,
+                            array=name,
+                            index=i,
+                            got=g,
+                            want=w,
                         )
                 elif g != w:
-                    raise ReproError(
-                        f"{self.name}: {name}[{i}] = {g} != {w}"
+                    raise ValidationError(
+                        f"{self.name}: {name}[{i}] = {g} != {w}",
+                        workload=self.name,
+                        array=name,
+                        index=i,
+                        got=g,
+                        want=w,
                     )
 
 

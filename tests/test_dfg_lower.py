@@ -209,3 +209,46 @@ def test_par_join_inserted_between_phases():
     dfg = lower_kernel(parallelize(kernel, 3))
     joins = ops_of(dfg, "join")
     assert joins, "expected a memory-token join after the first parfor"
+
+
+def test_loop_under_untaken_branch_does_not_leak_carry_init():
+    """A loop nested in an If arm consumes its carry inits at arm cadence.
+
+    Regression: a variable *written* (but never read) by a loop inside a
+    branch arm was not gated into the arm, so its carry init token arrived
+    even when the other arm was taken and wedged in the loop's ``exit:``
+    steer. The trigger needs the variable bound to a real node (not an
+    immediate) — here CSE shares it with the If condition, which is how
+    the property test originally found it.
+    """
+    from repro.ir.ast import (
+        ArraySpec, Assign, BinOp, Const, For, If, Kernel, Store, Var,
+    )
+
+    shared = BinOp("+", BinOp("+", Const(0), Const(0)),
+                   BinOp("+", Const(0), Var("n")))
+    zero = BinOp("+", Const(0), Const(0))
+    kernel = Kernel(
+        name="leak",
+        params=["n"],
+        arrays=[ArraySpec("A", 4, "i")],
+        body=[
+            Assign("v", shared),
+            If(
+                cond=shared,
+                then_body=[Assign("v", zero)],
+                else_body=[
+                    For("i", Const(0), Const(0), Const(1),
+                        body=[Assign("v", zero)])
+                ],
+            ),
+            Store("A", Const(0), BinOp("+", Const(0), Var("v"))),
+        ],
+    )
+    params = {"n": 3}  # truthy: then taken, the For's arm is dead
+    arrays = {"A": [7, 7, 7, 7]}
+    ref = run_kernel(kernel, params, arrays)
+    dfg = lower_kernel(kernel)
+    for order in ("fifo", "lifo", "random"):
+        got = run_dfg(dfg, params, arrays, order=order, seed=0)
+        assert got.memory == ref  # and quiescence found no leaked tokens

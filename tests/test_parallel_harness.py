@@ -161,6 +161,107 @@ class TestDiskCache:
         assert not list(tmp_path.glob("*.pkl"))
 
 
+class TestCacheMaintenance:
+    """``repro cache``'s backing operations: info, clear, prune, sweep."""
+
+    def _seed_entries(self, cache, n):
+        """Store n distinct picklable payloads (stand-ins for kernels)."""
+        for i in range(n):
+            cache.get_or_compile(("k", i), lambda i=i: {"payload": i})
+
+    def test_info_counts_both_layers(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        self._seed_entries(cache, 3)
+        info = cache.info()
+        assert info["memory_entries"] == 3
+        assert info["disk_entries"] == 3
+        assert info["disk_bytes"] > 0
+        assert info["disk_dir"] == str(tmp_path)
+        off = CompileCache()
+        assert off.info()["disk_entries"] == 0
+
+    def test_clear_disk_removes_everything(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        self._seed_entries(cache, 3)
+        (tmp_path / "leftover.tmp").write_text("x")
+        assert cache.clear_disk() == 3
+        assert not list(tmp_path.glob("*.pkl"))
+        assert not list(tmp_path.glob("*.tmp"))
+        # The memory layer went too: a lookup recompiles and restores.
+        cache.get_or_compile(("k", 0), lambda: {"payload": 0})
+        assert cache.misses == 1
+
+    def test_prune_evicts_lru_first(self, tmp_path):
+        import os as _os
+
+        cache = CompileCache(tmp_path)
+        self._seed_entries(cache, 4)
+        # Age entries deterministically: k0 oldest ... k3 newest.
+        for i in range(4):
+            path = cache._path_for(("k", i))
+            _os.utime(path, (1_000_000 + i, 1_000_000 + i))
+        # A disk hit refreshes k0's timestamp, protecting it from prune.
+        fresh = CompileCache(tmp_path)
+        fresh.get_or_compile(("k", 0), lambda: pytest.fail("must disk-hit"))
+        sizes = sum(p.stat().st_size for p in tmp_path.glob("*.pkl"))
+        one = sizes // 4 + 1
+        evicted = cache.prune(max_bytes=2 * one)
+        assert evicted == 2
+        survivors = {p.name for p in tmp_path.glob("*.pkl")}
+        assert cache._path_for(("k", 0)).name in survivors  # refreshed
+        assert cache._path_for(("k", 3)).name in survivors  # newest
+        assert cache.prune(max_bytes=0) == 2  # drains the rest
+        assert not list(tmp_path.glob("*.pkl"))
+
+    def test_sweep_stale_tmp(self, tmp_path):
+        import os as _os
+        import time as _time
+
+        cache = CompileCache(tmp_path)
+        stale = tmp_path / "dead-worker.tmp"
+        stale.write_text("partial pickle from a killed worker")
+        old = _time.time() - 7200
+        _os.utime(stale, (old, old))
+        live = tmp_path / "inflight.tmp"
+        live.write_text("currently being written")
+        assert cache.sweep_stale_tmp(max_age_s=3600) == 1
+        assert not stale.exists() and live.exists()
+
+    def test_torn_entry_is_unlinked(self, tmp_path):
+        """Corruption recovery physically removes the bad file."""
+        cache = CompileCache(tmp_path)
+        cache.get_or_compile(("k", 0), lambda: {"payload": 0})
+        path = cache._path_for(("k", 0))
+        path.write_bytes(b"\x80garbage that is not a pickle")
+        fresh = CompileCache(tmp_path)
+        assert fresh._disk_load(("k", 0)) is None
+        assert not path.exists()
+
+
+def test_sweep_job_attaches_requested_cache_dir(tmp_path, monkeypatch):
+    """A warm in-process worker must switch to the sweep's cache dir.
+
+    Regression: ``_run_sweep_job`` used to keep whatever disk dir the
+    GLOBAL_CACHE already had, silently writing one sweep's kernels into
+    another sweep's directory.
+    """
+    from repro.exp.cache import GLOBAL_CACHE
+    from repro.exp.runner import _run_sweep_job
+
+    monkeypatch.setattr(GLOBAL_CACHE, "disk_dir", None)
+    monkeypatch.setattr(GLOBAL_CACHE, "_store", {})
+    stale = tmp_path / "stale"
+    wanted = tmp_path / "wanted"
+    GLOBAL_CACHE.enable_disk(stale)
+    run = _run_sweep_job(
+        "spmspv", MONACO, "tiny", 0, ArchParams(), PAPER_DIVIDER,
+        EFFCC.name, ("monaco", 12, 12), str(wanted),
+    )
+    assert run.cycles > 0
+    assert str(GLOBAL_CACHE.disk_dir) == str(wanted)
+    assert list(wanted.glob("*.pkl")) and not list(stale.glob("*.pkl"))
+
+
 def test_compiled_kernel_pickle_roundtrip():
     """Worker processes receive kernels via pickle; results must match."""
     instance = make_workload("dmv", scale="tiny")
