@@ -151,6 +151,13 @@ class SimParams:
     #: nothing and is verified bit-identical to a build without the
     #: fault layer.
     faults: FaultParams | None = None
+    #: Runtime invariant checking (see :mod:`repro.check.invariants`).
+    #: Off by default and wired like ``trace``/``faults``: with
+    #: ``check=False`` the engine consults nothing and results are
+    #: bit-identical to a build without the conformance layer; with it
+    #: on, the checker only *reads* simulator state, so results are
+    #: still bit-identical — a violation raises instead.
+    check: bool = False
 
     def __post_init__(self):
         if self.fifo_capacity < 2:

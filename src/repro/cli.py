@@ -17,7 +17,13 @@ Commands:
   inject deterministic faults (``--fault-*``);
 * ``cache`` — inspect, clear, or LRU-prune the persistent compile cache;
 * ``table1`` — regenerate the workload-inventory table;
-* ``dse`` — run the LS-PE placement design-space exploration.
+* ``dse`` — run the LS-PE placement design-space exploration;
+* ``check`` — cross-layer conformance: run the three-way differential
+  oracle (IR interpreter vs. DFG token interpreter vs. cycle-level
+  simulator, with the static lint pass and runtime invariant checkers
+  armed) over Table 1 workloads, and/or fuzz random kernels
+  (``--fuzz N --seed S``), shrinking any divergence to a minimal JSON
+  reproducer in the corpus directory.
 """
 
 from __future__ import annotations
@@ -297,6 +303,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_regions.add_argument("--rows", type=int, default=10)
     p_regions.add_argument("--cols", type=int, default=10)
     p_regions.add_argument("--seed", type=int, default=0)
+
+    p_check = sub.add_parser(
+        "check",
+        help="cross-layer conformance: differential oracle + random fuzzing",
+    )
+    p_check.add_argument(
+        "workloads", nargs="*", metavar="workload",
+        help="workloads to check (default with --all: every Table 1 app)",
+    )
+    p_check.add_argument(
+        "--all", action="store_true",
+        help="run the three-way oracle on all Table 1 workloads",
+    )
+    p_check.add_argument("--scale", default="tiny")
+    p_check.add_argument("--seed", type=int, default=0)
+    p_check.add_argument(
+        "--fuzz", type=int, default=None, metavar="N",
+        help="generate and oracle-check N random kernels",
+    )
+    p_check.add_argument(
+        "--corpus", default=None, metavar="DIR",
+        help="directory for shrunken fuzz reproducers "
+        "(default: checks/corpus when fuzzing)",
+    )
+    p_check.add_argument(
+        "--no-shrink", action="store_true",
+        help="keep failing fuzz kernels at full size (faster triage off)",
+    )
+    p_check.add_argument(
+        "--json", action="store_true",
+        help="print machine-readable reports instead of the summary table",
+    )
 
     return parser
 
@@ -596,6 +634,62 @@ def cmd_regions(args) -> int:
     return 0
 
 
+def cmd_check(args) -> int:
+    from repro.check.fuzz import fuzz as run_fuzz
+    from repro.check.oracle import run_conformance
+
+    status = 0
+    names = list(args.workloads)
+    for name in names:
+        if name not in ALL_WORKLOADS:
+            raise SystemExit(
+                f"unknown workload {name!r}; choose from "
+                f"{', '.join(sorted(ALL_WORKLOADS))}"
+            )
+    if args.all or names:
+        reports = run_conformance(
+            names or None, scale=args.scale, seed=args.seed
+        )
+        if args.json:
+            print(json.dumps([r.to_dict() for r in reports], indent=2))
+        else:
+            for report in reports:
+                print(report.describe())
+        bad = [r for r in reports if not r.ok]
+        print(
+            f"conformance: {len(reports) - len(bad)}/{len(reports)} "
+            f"workload(s) ok"
+        )
+        if bad:
+            status = 1
+    if args.fuzz is not None:
+        corpus = args.corpus or "checks/corpus"
+
+        def progress(index, state, detail):
+            if state != "ok":
+                print(f"  kernel {index:4d}: {state} {detail}")
+
+        result = run_fuzz(
+            args.fuzz,
+            seed=args.seed,
+            corpus_dir=corpus,
+            shrink=not args.no_shrink,
+            progress=progress,
+        )
+        print(
+            f"fuzz: ran {result.ran} skipped {result.skipped} "
+            f"failure(s) {len(result.failures)} in {result.wall_time:.1f}s"
+        )
+        for failure in result.failures:
+            where = failure.path or "<unwritten>"
+            print(f"  seed {failure.seed} kernel {failure.index}: {where}")
+        if not result.ok:
+            status = 1
+    if not (args.all or names or args.fuzz is not None):
+        raise SystemExit("nothing to do: pass workload names, --all, or --fuzz N")
+    return status
+
+
 COMMANDS = {
     "workloads": cmd_workloads,
     "fabric": cmd_fabric,
@@ -608,6 +702,7 @@ COMMANDS = {
     "table1": cmd_table1,
     "dse": cmd_dse,
     "regions": cmd_regions,
+    "check": cmd_check,
 }
 
 

@@ -89,11 +89,26 @@ def mem_token_var(array: str) -> str:
     return f"__mem${array}"
 
 
-def lower_kernel(kernel: Kernel, mem_mode: str = "raw") -> DFG:
-    """Lower ``kernel`` to a validated dataflow graph."""
+def lower_kernel(
+    kernel: Kernel, mem_mode: str = "raw", strict: bool = False
+) -> DFG:
+    """Lower ``kernel`` to a validated dataflow graph.
+
+    With ``strict=True`` the static lint pass
+    (:mod:`repro.check.lint`) runs over the finished graph and raises
+    :class:`~repro.errors.DFGError` on any finding — catching the
+    well-formed-but-wrong-by-construction bug family (unpatched
+    back-edges, ungated carry inits, cross-region steer cadences) that
+    :meth:`repro.dfg.graph.DFG.validate` cannot see.
+    """
     if mem_mode not in MEM_MODES:
         raise LoweringError(f"unknown memory-ordering mode {mem_mode!r}")
-    return _Lowerer(kernel, mem_mode).lower()
+    dfg = _Lowerer(kernel, mem_mode).lower()
+    if strict:
+        from repro.check.lint import lint_strict
+
+        lint_strict(dfg)
+    return dfg
 
 
 class _Lowerer:

@@ -36,11 +36,20 @@ def run_kernel(
     kernel: Kernel,
     params: dict[str, int | float] | None = None,
     arrays: dict[str, list] | None = None,
+    counts: dict[str, int] | None = None,
+    max_iterations: int = MAX_LOOP_ITERATIONS,
 ) -> dict[str, list]:
     """Execute ``kernel`` and return its final array state.
 
     ``arrays`` supplies initial contents (copied; the caller's lists are not
     mutated). Missing arrays are zero-initialized at their declared size.
+    ``counts``, when given, is filled with dynamic operation counts
+    (``load``/``store``/``binop``/``unop``/``select``) — the ledger the
+    conformance oracle (:mod:`repro.check.oracle`) diffs against DFG
+    firing counts on the memory-op subset. ``max_iterations`` bounds
+    total loop iterations (the fuzzer's shrinker lowers it so a shrink
+    candidate that lost its loop increment fails fast instead of
+    spinning to the 50M default).
     """
     params = dict(params or {})
     missing = set(kernel.params) - set(params)
@@ -59,15 +68,26 @@ def run_kernel(
         else:
             zero = 0 if spec.dtype == "i" else 0.0
             memory[spec.name] = [zero] * spec.size
-    interp = _Interp(memory)
+    interp = _Interp(memory, counts, max_iterations)
     interp.run_block(kernel.body, dict(params))
     return memory
 
 
 class _Interp:
-    def __init__(self, memory: dict[str, list]):
+    def __init__(
+        self,
+        memory: dict[str, list],
+        counts: dict[str, int] | None = None,
+        max_iterations: int = MAX_LOOP_ITERATIONS,
+    ):
         self.memory = memory
         self.iterations = 0
+        self.max_iterations = max_iterations
+        #: Optional dynamic op-count ledger (None = off, zero overhead).
+        self.counts = counts
+
+    def _count(self, op: str) -> None:
+        self.counts[op] = self.counts.get(op, 0) + 1
 
     def eval(self, expr: Expr, env: dict) -> int | float:
         if isinstance(expr, Const):
@@ -78,13 +98,19 @@ class _Interp:
             except KeyError:
                 raise IRError(f"undefined variable {expr.name!r}") from None
         if isinstance(expr, BinOp):
+            if self.counts is not None:
+                self._count("binop")
             return apply_binop(
                 expr.op, self.eval(expr.lhs, env), self.eval(expr.rhs, env)
             )
         if isinstance(expr, UnOp):
+            if self.counts is not None:
+                self._count("unop")
             return apply_unop(expr.op, self.eval(expr.operand, env))
         if isinstance(expr, Select):
             # Eager: both arms evaluate regardless of the decider.
+            if self.counts is not None:
+                self._count("select")
             on_true = self.eval(expr.on_true, env)
             on_false = self.eval(expr.on_false, env)
             return on_true if truthy(self.eval(expr.cond, env)) else on_false
@@ -92,7 +118,7 @@ class _Interp:
 
     def _bump(self) -> None:
         self.iterations += 1
-        if self.iterations > MAX_LOOP_ITERATIONS:
+        if self.iterations > self.max_iterations:
             raise IRError("kernel exceeded the loop-iteration safety limit")
 
     def _access(self, array: str, index: int | float) -> int:
@@ -117,9 +143,13 @@ class _Interp:
         elif isinstance(stmt, Load):
             index = self._access(stmt.array, self.eval(stmt.index, env))
             env[stmt.var] = self.memory[stmt.array][index]
+            if self.counts is not None:
+                self._count("load")
         elif isinstance(stmt, Store):
             index = self._access(stmt.array, self.eval(stmt.index, env))
             self.memory[stmt.array][index] = self.eval(stmt.value, env)
+            if self.counts is not None:
+                self._count("store")
         elif isinstance(stmt, If):
             if truthy(self.eval(stmt.cond, env)):
                 self.run_block(stmt.then_body, env)

@@ -1,0 +1,194 @@
+"""JSON-roundtrippable serialization of the kernel IR.
+
+Used by the conformance fuzzer (:mod:`repro.check.fuzz`) to write
+minimal failing kernels into a corpus directory as plain JSON — a
+reproducer must survive without pickle (version-fragile, unreviewable)
+and be diffable in code review. ``kernel_from_dict(kernel_to_dict(k))``
+is structurally identical to ``k`` for every construct the IR has.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IRError
+from repro.ir.ast import (
+    ArraySpec,
+    Assign,
+    BinOp,
+    Const,
+    Expr,
+    For,
+    If,
+    Kernel,
+    Load,
+    Par,
+    ParFor,
+    Select,
+    Stmt,
+    Store,
+    UnOp,
+    Var,
+    While,
+)
+
+
+def expr_to_dict(expr: Expr) -> dict:
+    if isinstance(expr, Const):
+        return {"e": "const", "value": expr.value}
+    if isinstance(expr, Var):
+        return {"e": "var", "name": expr.name}
+    if isinstance(expr, BinOp):
+        return {
+            "e": "binop",
+            "op": expr.op,
+            "lhs": expr_to_dict(expr.lhs),
+            "rhs": expr_to_dict(expr.rhs),
+        }
+    if isinstance(expr, UnOp):
+        return {
+            "e": "unop",
+            "op": expr.op,
+            "operand": expr_to_dict(expr.operand),
+        }
+    if isinstance(expr, Select):
+        return {
+            "e": "select",
+            "cond": expr_to_dict(expr.cond),
+            "on_true": expr_to_dict(expr.on_true),
+            "on_false": expr_to_dict(expr.on_false),
+        }
+    raise IRError(f"cannot serialize expression {expr!r}")
+
+
+def expr_from_dict(data: dict) -> Expr:
+    kind = data["e"]
+    if kind == "const":
+        return Const(data["value"])
+    if kind == "var":
+        return Var(data["name"])
+    if kind == "binop":
+        return BinOp(
+            data["op"],
+            expr_from_dict(data["lhs"]),
+            expr_from_dict(data["rhs"]),
+        )
+    if kind == "unop":
+        return UnOp(data["op"], expr_from_dict(data["operand"]))
+    if kind == "select":
+        return Select(
+            expr_from_dict(data["cond"]),
+            expr_from_dict(data["on_true"]),
+            expr_from_dict(data["on_false"]),
+        )
+    raise IRError(f"cannot deserialize expression kind {kind!r}")
+
+
+def stmt_to_dict(stmt: Stmt) -> dict:
+    if isinstance(stmt, Assign):
+        return {"s": "assign", "var": stmt.var, "expr": expr_to_dict(stmt.expr)}
+    if isinstance(stmt, Load):
+        return {
+            "s": "load",
+            "var": stmt.var,
+            "array": stmt.array,
+            "index": expr_to_dict(stmt.index),
+        }
+    if isinstance(stmt, Store):
+        return {
+            "s": "store",
+            "array": stmt.array,
+            "index": expr_to_dict(stmt.index),
+            "value": expr_to_dict(stmt.value),
+        }
+    if isinstance(stmt, If):
+        return {
+            "s": "if",
+            "cond": expr_to_dict(stmt.cond),
+            "then": [stmt_to_dict(s) for s in stmt.then_body],
+            "else": [stmt_to_dict(s) for s in stmt.else_body],
+        }
+    if isinstance(stmt, While):
+        return {
+            "s": "while",
+            "cond": expr_to_dict(stmt.cond),
+            "body": [stmt_to_dict(s) for s in stmt.body],
+        }
+    if isinstance(stmt, (For, ParFor)):
+        return {
+            "s": "parfor" if isinstance(stmt, ParFor) else "for",
+            "var": stmt.var,
+            "lo": expr_to_dict(stmt.lo),
+            "hi": expr_to_dict(stmt.hi),
+            "step": expr_to_dict(stmt.step),
+            "body": [stmt_to_dict(s) for s in stmt.body],
+        }
+    if isinstance(stmt, Par):
+        return {
+            "s": "par",
+            "blocks": [
+                [stmt_to_dict(s) for s in block] for block in stmt.blocks
+            ],
+        }
+    raise IRError(f"cannot serialize statement {type(stmt).__name__}")
+
+
+def stmt_from_dict(data: dict) -> Stmt:
+    kind = data["s"]
+    if kind == "assign":
+        return Assign(data["var"], expr_from_dict(data["expr"]))
+    if kind == "load":
+        return Load(data["var"], data["array"], expr_from_dict(data["index"]))
+    if kind == "store":
+        return Store(
+            data["array"],
+            expr_from_dict(data["index"]),
+            expr_from_dict(data["value"]),
+        )
+    if kind == "if":
+        return If(
+            expr_from_dict(data["cond"]),
+            [stmt_from_dict(s) for s in data["then"]],
+            [stmt_from_dict(s) for s in data["else"]],
+        )
+    if kind == "while":
+        return While(
+            expr_from_dict(data["cond"]),
+            [stmt_from_dict(s) for s in data["body"]],
+        )
+    if kind in ("for", "parfor"):
+        cls = ParFor if kind == "parfor" else For
+        return cls(
+            data["var"],
+            expr_from_dict(data["lo"]),
+            expr_from_dict(data["hi"]),
+            expr_from_dict(data["step"]),
+            [stmt_from_dict(s) for s in data["body"]],
+        )
+    if kind == "par":
+        return Par(
+            [[stmt_from_dict(s) for s in block] for block in data["blocks"]]
+        )
+    raise IRError(f"cannot deserialize statement kind {kind!r}")
+
+
+def kernel_to_dict(kernel: Kernel) -> dict:
+    return {
+        "name": kernel.name,
+        "params": list(kernel.params),
+        "arrays": [
+            {"name": a.name, "size": a.size, "dtype": a.dtype}
+            for a in kernel.arrays
+        ],
+        "body": [stmt_to_dict(s) for s in kernel.body],
+    }
+
+
+def kernel_from_dict(data: dict) -> Kernel:
+    return Kernel(
+        data["name"],
+        list(data["params"]),
+        [
+            ArraySpec(a["name"], a["size"], a.get("dtype", "i"))
+            for a in data["arrays"]
+        ],
+        [stmt_from_dict(s) for s in data["body"]],
+    )

@@ -122,9 +122,16 @@ def simulate(
     if injector is not None:
         memsys.faults = injector
         frontend.faults = injector
+    checker = None
+    if arch.sim.check:
+        from repro.check.invariants import InvariantChecker
+
+        checker = InvariantChecker(
+            dfg, arch.sim.fifo_capacity, arch.sim.max_outstanding
+        )
     engine = _Engine(
         compiled, params, arch, divider, memsys, frontend, address_map,
-        obs=obs, faults=injector,
+        obs=obs, faults=injector, check=checker,
     )
     stats = engine.run()
     stats.frontend = getattr(frontend, "name", type(frontend).__name__)
@@ -139,7 +146,7 @@ def simulate(
 class _Engine:
     def __init__(
         self, compiled, params, arch, divider, memsys, frontend,
-        address_map, obs=None, faults=None,
+        address_map, obs=None, faults=None, check=None,
     ):
         self.compiled = compiled
         self.dfg: DFG = compiled.dfg
@@ -192,6 +199,11 @@ class _Engine:
         #: Fault injector, or None (off — same zero-overhead contract:
         #: every consult site below is gated on this check).
         self.faults = faults
+        #: Runtime invariant checker (:mod:`repro.check.invariants`), or
+        #: None (off — same zero-overhead contract again). The checker
+        #: only reads engine state; with it on, results are still
+        #: bit-identical, and a violation raises InvariantViolation.
+        self.check = check
         #: Per-tick scratch for attribution (None while tracing is off).
         self._tick_fired: set[int] | None = None
         self._tick_fifo_full: set[int] | None = None
@@ -278,6 +290,10 @@ class _Engine:
             while self.arrivals and self.arrivals[0][0] <= now:
                 record = heapq.heappop(self.arrivals)[2]
                 record.arrived_cycle = now
+                if record.request.kind == "load":
+                    # Arrival-side latency ledger (fault-dropped replies
+                    # never reach this point, so they never contribute).
+                    self.memsys.stats.record_arrival(record, now)
                 self.emit_candidates.add(record.nid)
                 progressed = True
             if self.frontend.tick(
@@ -318,6 +334,8 @@ class _Engine:
         if self.faults is not None:
             self.stats.faults_injected = self.faults.counts()
         self._check_final_state()
+        if self.check is not None:
+            self.check.finish(self.stats, self)
         return self.stats
 
     def _skip_target(
@@ -408,6 +426,11 @@ class _Engine:
                 for nid, _value in pushes:
                     for consumer, _index in self.consumers[nid]:
                         obs.token(now, nid, consumer)
+            if self.check is not None:
+                # Shadow-FIFO stamps mirror the commit (same point, same
+                # order) so capacity and cadence are checked against
+                # exactly what the engine's FIFOs will hold next tick.
+                self.check.commit(now, pushes, self.consumers)
             self.commit_pushes(pushes)
             progressed = True
         return progressed
@@ -474,6 +497,8 @@ class _Engine:
                 continue  # retry next fabric tick
             queue.popleft()
             self.mem_inflight -= 1
+            if self.check is not None:
+                self.check.response(now, nid, record)
             self.push_output(nid, record.value, pushes)
             self.stats.fmnoc_hops += 2 * record.response_hops
             node = self.dfg.nodes[nid]
@@ -515,6 +540,11 @@ class _Engine:
                 # retries at the next fabric tick (so the cycle-skip
                 # scheduler still schedules it).
                 continue
+            if self.check is not None:
+                # Shadow pops + cadence check for exactly the tokens
+                # this firing consumes (after the fault gate, so a
+                # suppressed firing is not counted).
+                self.check.fire(now, nid, decision)
             # Commit the firing.
             for index in decision.pops:
                 queue = self.fifos.queues[(nid, index)]
@@ -540,6 +570,10 @@ class _Engine:
         return progressed
 
     def _issue_memory(self, nid: int, request, now: int) -> None:
+        if self.check is not None:
+            # Memory-ordering monotonicity + outstanding-limit check,
+            # against the pre-issue queue depth.
+            self.check.issue(now, nid, len(self.resp_queue[nid]))
         self._seq += 1
         record = RequestRecord(
             nid=nid,

@@ -169,6 +169,21 @@ class MonacoFrontend:
             return True
         return any(a.latch is not None for a in self.arbiters.values())
 
+    def audit(self) -> int:
+        """Structural recount of requests inside the request network.
+
+        Walks every PE injection queue and every arbiter latch and
+        counts what is actually there — independently of the
+        :attr:`in_network` running counter, so the conformance layer
+        (:mod:`repro.check.invariants`) can prove the inject/deliver
+        bookkeeping conserves requests.
+        """
+        held = sum(len(queue) for queue in self.pe_queues.values())
+        held += sum(
+            1 for a in self.arbiters.values() if a.latch is not None
+        )
+        return held
+
     def next_event(self, now: int) -> int | None:
         """Cycle-skip hint: arbiters move every cycle while any request
         is in flight; with nothing in the network there is no event."""

@@ -8,6 +8,21 @@ of whole lines (loads and stores both allocate). Data values are read and
 written at bank-service time, which is consistent with the DFG's
 memory-ordering tokens (a dependent access cannot even be *issued* before
 its predecessor's response).
+
+Fault injection and accounting
+------------------------------
+Response faults (:mod:`repro.sim.faults`) act strictly *after* bank
+service: a dropped or delayed response has already touched the cache,
+read or written its data word, and been counted in
+:class:`MemStats` (``loads``/``stores``/``hits``/``misses``/
+``bank_wait_cycles``). This is intended — the access *was* served; only
+the reply vanished in the response network — and it keeps the ledger
+identity ``hits + misses == loads + stores`` exact under any fault mix.
+Consequently a faulted run and its clean twin agree on ``loads + stores``
+for the same prefix of serviced requests (asserted in
+``tests/test_check_satellites.py``). Only :attr:`MemStats.latency_total`
+and :attr:`MemStats.responses` are arrival-side: they accumulate when a
+load's response reaches its PE, so dropped responses never contribute.
 """
 
 from __future__ import annotations
@@ -58,9 +73,27 @@ class MemStats:
     hits: int = 0
     misses: int = 0
     bank_wait_cycles: int = 0
+    #: Total load round-trip latency (issue -> response arrival at the
+    #: PE), accumulated by the engine when the response lands; with
+    #: :attr:`responses` this yields the exact average memory latency.
     latency_total: int = 0
+    #: Load responses that actually arrived back at a PE (excludes
+    #: fault-dropped replies, which never arrive).
+    responses: int = 0
+
+    @property
+    def avg_latency(self) -> float:
+        """Exact mean load round-trip latency in system cycles."""
+        return self.latency_total / self.responses if self.responses else 0.0
 
     def record_service(self, record: RequestRecord) -> None:
+        if record.enqueue_cycle < 0:
+            raise SimulationError(
+                f"node {record.nid}: request seq {record.seq} served at "
+                f"cycle {record.serve_cycle} was never enqueued "
+                f"(enqueue_cycle={record.enqueue_cycle}); bank-wait "
+                "accounting would silently corrupt"
+            )
         if record.request.kind == "load":
             self.loads += 1
         else:
@@ -70,6 +103,11 @@ class MemStats:
         else:
             self.misses += 1
         self.bank_wait_cycles += record.serve_cycle - record.enqueue_cycle
+
+    def record_arrival(self, record: RequestRecord, now: int) -> None:
+        """A load's response reached its PE at cycle ``now``."""
+        self.latency_total += now - record.issue_cycle
+        self.responses += 1
 
 
 class SharedCache:

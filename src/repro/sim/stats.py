@@ -131,6 +131,18 @@ class SimStats:
         cycles = self.fabric_cycles
         return self.total_firings / cycles if cycles else 0.0
 
+    @property
+    def avg_mem_latency(self) -> float:
+        """Exact mean load round-trip latency (issue -> PE arrival).
+
+        Computed from the arrival-side ledger
+        (:attr:`MemStats.latency_total` / :attr:`MemStats.responses`),
+        so it equals the combined mean of the per-class reservoir
+        accumulators (whose means are exact running totals; only their
+        percentiles are sampled).
+        """
+        return self.mem.avg_latency
+
     def record_load(
         self, criticality: str, domain: int | None, latency: int
     ) -> None:
@@ -148,6 +160,10 @@ class SimStats:
             f"{self.mem.loads} loads / {self.mem.stores} stores "
             f"({self.mem.hits} hits, {self.mem.misses} misses)",
         ]
+        if self.mem.responses:
+            parts.append(
+                f"avg mem latency {self.avg_mem_latency:.1f} cycles"
+            )
         lat = ", ".join(
             f"{klass}: {acc.describe()}"
             for klass, acc in sorted(self.load_latency.items())
@@ -184,6 +200,9 @@ class SimStats:
                 "hits": self.mem.hits,
                 "misses": self.mem.misses,
                 "bank_wait_cycles": self.mem.bank_wait_cycles,
+                "latency_total": self.mem.latency_total,
+                "responses": self.mem.responses,
+                "avg_mem_latency": round(self.avg_mem_latency, 3),
             },
             "load_latency": {
                 klass: acc.to_dict()

@@ -60,6 +60,11 @@ class UniformFrontend:
     def busy(self) -> bool:
         return bool(self._pipe)
 
+    def audit(self) -> int:
+        """Structural recount of requests still inside the delay pipe
+        (see :meth:`repro.sim.fmnoc_sim.MonacoFrontend.audit`)."""
+        return len(self._pipe)
+
     def next_event(self, now: int) -> int | None:
         """Cycle-skip hint: nothing happens until the pipe's head matures,
         so the engine may jump straight over the fixed UPEA delay."""

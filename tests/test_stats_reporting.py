@@ -116,22 +116,88 @@ class TestSimStats:
 
 
 class TestMemStats:
-    def test_record_service_counts(self):
+    @staticmethod
+    def _record(issue_cycle=0):
         from repro.dfg.ops import MemRequest
         from repro.sim.memsys import RequestRecord
 
-        stats = MemStats()
-        record = RequestRecord(
+        return RequestRecord(
             nid=1,
             seq=1,
             request=MemRequest("load", "a", 0),
             address=0,
             pe_coord=(0, 0),
-            issue_cycle=0,
+            issue_cycle=issue_cycle,
         )
+
+    def test_record_service_counts(self):
+        stats = MemStats()
+        record = self._record()
         record.hit = True
         record.enqueue_cycle = 3
         record.serve_cycle = 5
         stats.record_service(record)
         assert stats.loads == 1 and stats.hits == 1
         assert stats.bank_wait_cycles == 2
+
+    def test_avg_latency_tracks_arrivals(self):
+        stats = MemStats()
+        assert stats.avg_latency == 0.0  # no responses yet
+        stats.record_arrival(self._record(issue_cycle=2), now=8)
+        stats.record_arrival(self._record(issue_cycle=4), now=8)
+        assert stats.latency_total == 10
+        assert stats.responses == 2
+        assert stats.avg_latency == pytest.approx(5.0)
+
+
+class TestAvgMemLatency:
+    """``SimStats.avg_mem_latency`` must agree with the reservoirs.
+
+    The arrival-side ledger (``mem.latency_total / mem.responses``) and
+    the per-class :class:`LatencyAccumulator` means observe the same
+    ``arrived - issue`` sequence, so they agree *exactly*, not just
+    approximately (the reservoir mean is exact; only percentiles are
+    sampled).
+    """
+
+    def make(self, latencies):
+        from repro.dfg.ops import MemRequest
+        from repro.sim.memsys import RequestRecord
+
+        stats = SimStats()
+        for seq, latency in enumerate(latencies):
+            stats.record_load("A" if seq % 2 else "B", 0, latency)
+            record = RequestRecord(
+                nid=1,
+                seq=seq,
+                request=MemRequest("load", "a", 0),
+                address=0,
+                pe_coord=(0, 0),
+                issue_cycle=0,
+            )
+            stats.mem.record_arrival(record, now=latency)
+        return stats
+
+    def test_matches_reservoir_mean_exactly(self):
+        latencies = [3, 7, 4, 11, 9, 2, 5]
+        stats = self.make(latencies)
+        acc_total = sum(a.total for a in stats.load_latency.values())
+        acc_count = sum(a.count for a in stats.load_latency.values())
+        assert stats.mem.latency_total == acc_total == sum(latencies)
+        assert stats.mem.responses == acc_count == len(latencies)
+        assert stats.avg_mem_latency == pytest.approx(
+            sum(latencies) / len(latencies)
+        )
+
+    def test_zero_without_responses(self):
+        assert SimStats().avg_mem_latency == 0.0
+
+    def test_summary_and_to_dict_expose_it(self):
+        stats = self.make([4, 6])
+        assert "avg mem latency 5.0 cycles" in stats.summary()
+        d = stats.to_dict()
+        assert d["mem"]["avg_mem_latency"] == pytest.approx(5.0)
+        assert d["mem"]["latency_total"] == 10
+        assert d["mem"]["responses"] == 2
+        # An idle machine reports no latency line rather than 0.0.
+        assert "avg mem latency" not in SimStats().summary()
