@@ -1,0 +1,241 @@
+"""PnR compile-time benchmark and CI regression guard.
+
+Compiles every Table 1 workload three ways and times each end to end:
+
+- ``naive``       — full-recompute anneal + full-reroute PathFinder
+                    (``incremental=False``, the pre-optimization path,
+                    kept behind a flag as the A/B baseline),
+- ``incremental`` — cached-cost anneal + dirty-net rerouting,
+- ``portfolio``   — incremental plus the mem-scale candidate portfolio
+                    evaluated concurrently in a process pool.
+
+All three modes must produce bit-identical compiled artifacts — the
+incremental structures are an optimization, not an approximation — so
+the benchmark asserts digest equality per workload before it reports a
+single number. The digest covers placement, routing trees, sink hops,
+clock divider, max hops and placement cost.
+
+Timings are machine-dependent; *speedups* are ratios on the same
+machine and therefore portable. The CI guard compares the measured
+suite speedup against the committed baseline's speedup:
+
+    PYTHONPATH=src python benchmarks/bench_pnr_compile.py \
+        --check benchmarks/results/pnr_baseline.json --tolerance 0.25
+
+fails when either measured speedup drops more than 25% below the
+baseline ratio. ``--update-baseline`` rewrites the baseline JSON after
+an intentional change.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import pathlib
+import sys
+import time
+
+from repro.arch.fabric import monaco
+from repro.arch.params import ArchParams
+from repro.pnr.flow import compile_once, shutdown_portfolio_pool
+from repro.workloads.registry import ALL_WORKLOADS, make_workload
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+BASELINE_PATH = RESULTS_DIR / "pnr_baseline.json"
+
+#: Matches the portfolio size (len(MEM_SCALE_SCHEDULE)).
+DEFAULT_JOBS = 3
+
+
+def pnr_digest(compiled) -> str:
+    """Stable digest of everything PnR decides for a compiled kernel."""
+    payload = {
+        "placement": sorted(
+            (str(n), list(c)) for n, c in compiled.placement.items()
+        ),
+        "trees": sorted(
+            (str(i), sorted(str(k) for k in chans))
+            for i, chans in compiled.routing.net_channels.items()
+        ),
+        "sink_hops": sorted(
+            (str(i), sorted((str(s), h) for s, h in hops.items()))
+            for i, hops in compiled.routing.sink_hops.items()
+        ),
+        "divider": compiled.timing.clock_divider,
+        "max_hops": float(compiled.timing.max_hops),
+        "place_cost": round(compiled.place_cost, 3),
+    }
+    blob = json.dumps(payload, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+#: mode name -> compile_once kwargs.
+MODES = {
+    "naive": {"incremental": False, "portfolio_jobs": 1},
+    "incremental": {"incremental": True, "portfolio_jobs": 1},
+    "portfolio": {"incremental": True, "portfolio_jobs": DEFAULT_JOBS},
+}
+
+
+def run_suite(workloads, scale: str, jobs: int, rounds: int) -> dict:
+    fabric = monaco(12, 12)
+    arch = ArchParams()
+    modes = dict(MODES)
+    modes["portfolio"] = {"incremental": True, "portfolio_jobs": jobs}
+
+    kernels = {
+        name: make_workload(name, scale=scale, seed=0).kernel
+        for name in workloads
+    }
+
+    # Warm the process pool outside the timed region: worker spawn and
+    # module import are one-time costs the long-lived compile server
+    # (and every subsequent compile) never pays again.
+    compile_once(
+        kernels[workloads[0]], fabric, arch, parallelism=1, seed=0,
+        incremental=True, portfolio_jobs=jobs,
+    )
+
+    # Best-of-``rounds`` per (mode, workload): the minimum is the least
+    # noise-contaminated observation, and interleaving the modes round
+    # by round keeps slow machine-load drift from biasing the ratios.
+    per_workload: dict[str, dict] = {name: {} for name in workloads}
+    for _ in range(rounds):
+        for mode, kwargs in modes.items():
+            for name in workloads:
+                start = time.perf_counter()
+                compiled = compile_once(
+                    kernels[name], fabric, arch, parallelism=1, seed=0,
+                    **kwargs,
+                )
+                elapsed = time.perf_counter() - start
+                digest = pnr_digest(compiled)
+                entry = per_workload[name]
+                key = f"{mode}_s"
+                entry[key] = round(min(entry.get(key, elapsed), elapsed), 4)
+                if entry.setdefault("digest", digest) != digest:
+                    raise SystemExit(
+                        f"FAIL: {name} digest diverged in mode {mode!r}: "
+                        f"{digest} != {entry['digest']} — the incremental "
+                        "path is no longer bit-identical to the naive one"
+                    )
+    shutdown_portfolio_pool()
+
+    totals = {
+        mode: sum(per_workload[name][f"{mode}_s"] for name in workloads)
+        for mode in modes
+    }
+    return {
+        "scale": scale,
+        "portfolio_jobs": jobs,
+        "rounds": rounds,
+        "workloads": per_workload,
+        "totals": {mode: round(t, 3) for mode, t in totals.items()},
+        "speedup": {
+            "incremental": round(totals["naive"] / totals["incremental"], 3),
+            "portfolio": round(totals["naive"] / totals["portfolio"], 3),
+        },
+    }
+
+
+def render(results: dict) -> str:
+    lines = [
+        f"PnR compile benchmark — scale={results['scale']}, "
+        f"portfolio_jobs={results['portfolio_jobs']}, "
+        f"best of {results['rounds']} round(s)",
+        f"{'workload':<12}{'naive':>9}{'incr':>9}{'portfolio':>11}  digest",
+    ]
+    for name, entry in results["workloads"].items():
+        lines.append(
+            f"{name:<12}{entry['naive_s']:>8.3f}s{entry['incremental_s']:>8.3f}s"
+            f"{entry['portfolio_s']:>10.3f}s  {entry['digest']}"
+        )
+    t = results["totals"]
+    s = results["speedup"]
+    lines.append(
+        f"{'TOTAL':<12}{t['naive']:>8.3f}s{t['incremental']:>8.3f}s"
+        f"{t['portfolio']:>10.3f}s"
+    )
+    lines.append(
+        f"speedup vs naive: incremental {s['incremental']:.2f}x, "
+        f"portfolio {s['portfolio']:.2f}x"
+    )
+    return "\n".join(lines)
+
+
+def check_against(results: dict, baseline_path: str, tolerance: float) -> int:
+    baseline = json.loads(pathlib.Path(baseline_path).read_text())
+    status = 0
+    for mode in ("incremental", "portfolio"):
+        want = baseline["speedup"][mode]
+        got = results["speedup"][mode]
+        floor = want * (1.0 - tolerance)
+        verdict = "ok" if got >= floor else "REGRESSION"
+        print(
+            f"check {mode}: measured {got:.2f}x vs baseline {want:.2f}x "
+            f"(floor {floor:.2f}x) — {verdict}"
+        )
+        if got < floor:
+            status = 1
+    return status
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale", default="tiny", help="workload input scale"
+    )
+    parser.add_argument(
+        "--workloads", nargs="*", default=list(ALL_WORKLOADS),
+        help="subset of Table 1 workloads",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=DEFAULT_JOBS,
+        help="portfolio process-pool size",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=2,
+        help="timing rounds per mode; best-of is reported",
+    )
+    parser.add_argument(
+        "--out", default=None, help="write results JSON here"
+    )
+    parser.add_argument(
+        "--check", default=None, metavar="BASELINE",
+        help="compare speedups against a committed baseline JSON",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed fractional speedup drop vs the baseline",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help=f"rewrite {BASELINE_PATH}",
+    )
+    args = parser.parse_args(argv)
+
+    # Validate before the (minutes-long) suite runs, not after.
+    if args.check and not pathlib.Path(args.check).is_file():
+        parser.error(f"baseline not found: {args.check}")
+
+    results = run_suite(
+        args.workloads, args.scale, args.jobs, max(1, args.rounds)
+    )
+    print(render(results))
+
+    if args.out:
+        pathlib.Path(args.out).write_text(
+            json.dumps(results, indent=2) + "\n"
+        )
+    if args.update_baseline:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        BASELINE_PATH.write_text(json.dumps(results, indent=2) + "\n")
+        print(f"baseline updated: {BASELINE_PATH}")
+    if args.check:
+        return check_against(results, args.check, args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

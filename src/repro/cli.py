@@ -124,6 +124,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats-json", default=None, metavar="PATH",
         help="also write the run's SimStats as machine-readable JSON",
     )
+    p_run.add_argument(
+        "--portfolio-jobs", type=int, default=1, metavar="N",
+        help="evaluate the mem-scale PnR portfolio on N processes "
+        "(bit-identical result, just faster compiles)",
+    )
+    p_run.add_argument(
+        "--naive-pnr", action="store_true",
+        help="use the full-recompute anneal and full-reroute PathFinder "
+        "(results are bit-identical either way; this is the A/B knob)",
+    )
 
     def add_sim_args(p):
         p.add_argument("workload", choices=sorted(ALL_WORKLOADS))
@@ -364,9 +374,24 @@ def cmd_run(args) -> int:
     fabric = build_fabric(args.topology, args.rows, args.cols)
     policy = get_policy(args.policy)
     compiled = compile_cached(
-        instance, fabric, arch, policy=policy, seed=args.seed
+        instance,
+        fabric,
+        arch,
+        policy=policy,
+        seed=args.seed,
+        incremental=not args.naive_pnr,
+        portfolio_jobs=args.portfolio_jobs,
     )
     print(compiled.summary())
+    if compiled.pnr is not None:
+        pnr = compiled.pnr
+        print(
+            f"pnr: {pnr.total_wall_s:.2f}s compile "
+            f"({pnr.moves_per_s:,.0f} moves/s, "
+            f"{pnr.route_iterations} route iters, "
+            f"{pnr.nets_rerouted} reroutes, "
+            f"{pnr.candidates} candidates x {pnr.portfolio_jobs} jobs)"
+        )
     if args.criticality:
         print(format_report(compiled.dfg, compiled.criticality))
     if args.map:

@@ -29,7 +29,8 @@ from repro.pnr.result import CompiledKernel
 
 #: Bump when the pickled CompiledKernel layout changes; old on-disk
 #: entries become unreachable (different digest) instead of unpicklable.
-CACHE_SCHEMA_VERSION = 1
+#: v2: CompiledKernel.pnr (PnRStats), RoutingResult.nets_rerouted/wall_s.
+CACHE_SCHEMA_VERSION = 2
 
 
 def default_cache_dir() -> Path:

@@ -71,6 +71,11 @@ class RunResult:
     #: retried results stay reproducible; excluded from equality so a
     #: retried run still compares equal to a direct run of that seed.
     pnr_seed: int | None = field(default=None, compare=False)
+    #: Compile-time telemetry (:class:`repro.pnr.result.PnRStats`) of the
+    #: kernel this run simulated. Wall-clock data, so excluded from
+    #: equality like ``wall_time``; None when the compile predates the
+    #: stats (old cache entries).
+    pnr: object = field(default=None, compare=False, repr=False)
 
 
 def compile_cached(
@@ -80,8 +85,16 @@ def compile_cached(
     policy: PlacementPolicy = EFFCC,
     parallelism: int | None = None,
     seed: int = 0,
+    incremental: bool = True,
+    portfolio_jobs: int = 1,
 ) -> CompiledKernel:
-    """Compile with the shared cache (PnR is deterministic given the key)."""
+    """Compile with the shared cache (PnR is deterministic given the key).
+
+    ``incremental`` and ``portfolio_jobs`` only change *how fast* the
+    same artifact is produced (bit-identical outputs, see
+    :mod:`repro.pnr.flow`), so they are deliberately not part of the
+    cache key.
+    """
     key = (
         instance.name,
         instance.meta.get("table1"),
@@ -100,6 +113,8 @@ def compile_cached(
             policy=policy,
             parallelism=parallelism,
             seed=seed,
+            incremental=incremental,
+            portfolio_jobs=portfolio_jobs,
         ),
     )
 
@@ -133,6 +148,7 @@ def run_config(
         parallelism=compiled.parallelism,
         wall_time=wall,
         obs=result.obs,
+        pnr=compiled.pnr,
     )
 
 

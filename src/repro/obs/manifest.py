@@ -34,7 +34,9 @@ import time
 MANIFEST_SCHEMA = 2
 
 #: Keys that legitimately differ between two runs of the same point.
-VOLATILE_KEYS = ("wall_time_s", "timestamp", "git_rev")
+#: ``pnr`` is compile-time telemetry (moves/s, per-phase wall times) —
+#: informative in the record, but never part of the stable view.
+VOLATILE_KEYS = ("wall_time_s", "timestamp", "git_rev", "pnr")
 
 
 @functools.lru_cache(maxsize=1)
@@ -135,6 +137,9 @@ def build_manifest(
         # The supervisor retried PnR under a perturbed placement seed;
         # journal it so the result stays reproducible from the record.
         record["pnr_seed"] = pnr_seed
+    pnr = getattr(run, "pnr", None)
+    if pnr is not None:
+        record["pnr"] = pnr.to_dict()
     if extra:
         record.update(extra)
     return record

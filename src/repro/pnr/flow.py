@@ -5,11 +5,22 @@ NUPEA-aware placement -> routing -> static timing. The parallelism degree
 is "iteratively increased until PnR fails" (Sec. 5): the flow doubles the
 degree until the design stops fitting or routing, keeping the last
 success.
+
+The mem-scale negotiation is a *portfolio*: each ``MEM_SCALE_SCHEDULE``
+entry (optionally times several placement-restart seeds) is an
+independent PnR candidate. ``portfolio_jobs > 1`` evaluates the
+candidates concurrently in a process pool; the selection loop then walks
+the outcomes in schedule order applying the exact serial tie-break
+(``(clock_divider, place_cost)`` lexicographic, early exit at
+``clock_divider <= 2``), so the chosen candidate — and thus the compiled
+artifact — is identical to the serial path's.
 """
 
 from __future__ import annotations
 
 import random
+import time
+from concurrent.futures import ProcessPoolExecutor
 
 from repro.arch.fabric import Fabric
 from repro.arch.noc import build_channel_graph
@@ -17,12 +28,12 @@ from repro.arch.params import ArchParams
 from repro.core.criticality import analyze_criticality
 from repro.core.policy import EFFCC, PlacementPolicy
 from repro.dfg.lower import lower_kernel
-from repro.errors import PnRError
+from repro.errors import PlacementError, PnRError, RoutingError
 from repro.ir.ast import Kernel
 from repro.ir.transform import parallelize
 from repro.pnr.netlist import build_netlist
 from repro.pnr.place import anneal, initial_placement
-from repro.pnr.result import CompiledKernel
+from repro.pnr.result import CompiledKernel, PnRStats
 from repro.pnr.route import route_design
 from repro.pnr.timing import analyze_timing
 
@@ -31,6 +42,111 @@ from repro.pnr.timing import analyze_timing
 #: near-memory pull is congesting the data NoC. The first scale whose
 #: routed divider is already minimal wins; otherwise the best candidate.
 MEM_SCALE_SCHEDULE = (1.0, 0.4, 0.1)
+
+#: Seed stride between portfolio placement restarts (prime, far from the
+#: sweep harness's PNR_SEED_STRIDE so restart seeds never collide with
+#: per-point seeds).
+PORTFOLIO_SEED_STRIDE = 104729
+
+#: Exception types a portfolio worker may ship back by name.
+_EXC_TYPES = {
+    "PnRError": PnRError,
+    "PlacementError": PlacementError,
+    "RoutingError": RoutingError,
+}
+
+_POOL: ProcessPoolExecutor | None = None
+_POOL_SIZE = 0
+
+
+def _portfolio_pool(jobs: int) -> ProcessPoolExecutor:
+    """Shared process pool for portfolio evaluation (lazily created)."""
+    global _POOL, _POOL_SIZE
+    if _POOL is not None and _POOL_SIZE < jobs:
+        _POOL.shutdown(wait=True)
+        _POOL = None
+    if _POOL is None:
+        _POOL = ProcessPoolExecutor(max_workers=jobs)
+        _POOL_SIZE = jobs
+    return _POOL
+
+
+def shutdown_portfolio_pool() -> None:
+    """Tear down the shared portfolio pool (tests, process exit)."""
+    global _POOL, _POOL_SIZE
+    if _POOL is not None:
+        _POOL.shutdown(wait=True)
+        _POOL = None
+        _POOL_SIZE = 0
+
+
+def _evaluate_mem_scale(
+    netlist,
+    fabric: Fabric,
+    policy: PlacementPolicy,
+    channels,
+    timing_params,
+    mem_scale: float,
+    seed: int,
+    anneal_moves: int | None,
+    incremental: bool,
+    check: bool,
+):
+    """Evaluate one (mem_scale, seed) portfolio candidate.
+
+    Picklable module-level worker so it runs under ProcessPoolExecutor.
+    Returns one of::
+
+        ("ok", (divider, cost, loc, routing, timing), stats)
+        ("error", (exc_type_name, message), {})   # routing failed
+        ("fatal", (exc_type_name, message), {})   # placement failed
+
+    Routing failures participate in the schedule's continue-on-failure
+    negotiation; placement failures abort the whole compile (matching the
+    historical behavior where ``initial_placement`` raised through).
+    """
+    stats: dict = {}
+    try:
+        rng = random.Random(seed)
+        placement = initial_placement(
+            netlist, fabric, policy, rng, mem_scale=mem_scale
+        )
+    except PnRError as error:
+        return ("fatal", (type(error).__name__, str(error)), {})
+    cost = anneal(
+        placement,
+        rng,
+        moves=anneal_moves,
+        incremental=incremental,
+        check=check,
+        stats=stats,
+    )
+    try:
+        routing = route_design(
+            netlist,
+            placement,
+            channels,
+            incremental=incremental,
+            check=check,
+        )
+    except PnRError as error:
+        return ("error", (type(error).__name__, str(error)), {})
+    timing = analyze_timing(routing, timing_params)
+    stats["route_wall_s"] = routing.wall_s
+    stats["route_iterations"] = routing.iterations
+    stats["nets_rerouted"] = routing.nets_rerouted
+    payload = (
+        timing.clock_divider,
+        cost,
+        dict(placement.loc),
+        routing,
+        timing,
+    )
+    return ("ok", payload, stats)
+
+
+def _rebuild_error(name: str, message: str) -> PnRError:
+    return _EXC_TYPES.get(name, PnRError)(message)
 
 
 def compile_once(
@@ -42,52 +158,122 @@ def compile_once(
     mem_mode: str = "raw",
     seed: int = 0,
     anneal_moves: int | None = None,
+    incremental: bool = True,
+    portfolio_jobs: int = 1,
+    portfolio_restarts: int = 1,
 ) -> CompiledKernel:
     """Compile at a fixed parallelism degree; raises PnRError on failure.
 
     Placement and routing negotiate: if the routed design's clock divider
     is poor (long paths from memory-preference congestion), placement is
     retried with a weaker near-memory pull and the best-timed routable
-    candidate wins.
+    candidate wins. ``portfolio_jobs > 1`` evaluates the candidates
+    concurrently (same result, see module docstring);
+    ``portfolio_restarts > 1`` adds extra placement seeds per mem scale.
+    ``incremental=False`` selects the naive full-recompute anneal and
+    full-reroute PathFinder (the A/B baseline).
     """
+    t0 = time.perf_counter()
     program = parallelize(kernel, parallelism) if parallelism > 1 else kernel
     dfg = lower_kernel(program, mem_mode=mem_mode)
     report = analyze_criticality(dfg)
     netlist = build_netlist(dfg)
     channels = build_channel_graph(fabric, arch.noc_tracks, arch.noc_model)
+    check = arch.sim.check
 
-    best = None
-    failure: PnRError | None = None
-    for mem_scale in MEM_SCALE_SCHEDULE:
-        rng = random.Random(seed)
-        placement = initial_placement(
-            netlist, fabric, policy, rng, mem_scale=mem_scale
+    restarts = max(1, portfolio_restarts)
+    plan = [
+        (mem_scale, seed + r * PORTFOLIO_SEED_STRIDE)
+        for mem_scale in MEM_SCALE_SCHEDULE
+        for r in range(restarts)
+    ]
+
+    jobs = max(1, min(portfolio_jobs, len(plan)))
+    if jobs > 1:
+        pool = _portfolio_pool(jobs)
+        futures = [
+            pool.submit(
+                _evaluate_mem_scale,
+                netlist,
+                fabric,
+                policy,
+                channels,
+                arch.timing,
+                mem_scale,
+                cand_seed,
+                anneal_moves,
+                incremental,
+                check,
+            )
+            for mem_scale, cand_seed in plan
+        ]
+        outcomes = (future.result() for future in futures)
+    else:
+        outcomes = (
+            _evaluate_mem_scale(
+                netlist,
+                fabric,
+                policy,
+                channels,
+                arch.timing,
+                mem_scale,
+                cand_seed,
+                anneal_moves,
+                incremental,
+                check,
+            )
+            for mem_scale, cand_seed in plan
         )
-        cost = anneal(placement, rng, moves=anneal_moves)
-        try:
-            routing = route_design(netlist, placement, channels)
-        except PnRError as error:
-            failure = error
+
+    # Selection: identical for serial and parallel — walk outcomes in
+    # schedule order, keep the lexicographic (divider, cost) best, stop
+    # once a candidate's divider is already minimal. The serial generator
+    # is lazy, so the historical early exit still skips later anneals.
+    best = None
+    best_stats: dict = {}
+    failure: PnRError | None = None
+    considered = 0
+    for outcome in outcomes:
+        kind, payload, stats = outcome
+        considered += 1
+        if kind == "fatal":
+            raise _rebuild_error(*payload)
+        if kind == "error":
+            failure = _rebuild_error(*payload)
             continue
-        timing = analyze_timing(routing, arch.timing)
-        candidate = (timing.clock_divider, cost, placement, routing, timing)
-        if best is None or candidate[:2] < best[:2]:
-            best = candidate
-        if timing.clock_divider <= 2:
+        if best is None or payload[:2] < best[:2]:
+            best = payload
+            best_stats = stats
+        if payload[0] <= 2:
             break
     if best is None:
         raise failure if failure is not None else PnRError("unroutable")
-    _, cost, placement, routing, timing = best
+    _, cost, loc, routing, timing = best
+    pnr = PnRStats(
+        place_wall_s=best_stats.get("wall_s", 0.0),
+        route_wall_s=best_stats.get("route_wall_s", 0.0),
+        total_wall_s=time.perf_counter() - t0,
+        anneal_moves=best_stats.get("moves", 0),
+        anneal_proposals=best_stats.get("proposals", 0),
+        anneal_accepted=best_stats.get("accepted", 0),
+        moves_per_s=best_stats.get("moves_per_s", 0.0),
+        route_iterations=best_stats.get("route_iterations", 0),
+        nets_rerouted=best_stats.get("nets_rerouted", 0),
+        candidates=considered,
+        portfolio_jobs=jobs,
+        incremental=incremental,
+    )
     return CompiledKernel(
         dfg=dfg,
         fabric=fabric,
         policy=policy,
         criticality=report,
-        placement=dict(placement.loc),
+        placement=loc,
         routing=routing,
         timing=timing,
         parallelism=parallelism,
         place_cost=cost,
+        pnr=pnr,
     )
 
 
@@ -101,6 +287,9 @@ def compile_kernel(
     mem_mode: str = "raw",
     seed: int = 0,
     anneal_moves: int | None = None,
+    incremental: bool = True,
+    portfolio_jobs: int = 1,
+    portfolio_restarts: int = 1,
 ) -> CompiledKernel:
     """Compile ``kernel``, searching the parallelism degree if unspecified.
 
@@ -114,18 +303,23 @@ def compile_kernel(
     if parallelism is not None:
         return compile_once(
             kernel, fabric, arch, policy, parallelism, mem_mode, seed,
-            anneal_moves,
+            anneal_moves, incremental, portfolio_jobs, portfolio_restarts,
         )
+    t0 = time.perf_counter()
     best: CompiledKernel | None = None
     best_score = 0.0
+    tried = 0
     for degree in _search_degrees(max_parallelism):
         try:
             candidate = compile_once(
                 kernel, fabric, arch, policy, degree, mem_mode, seed,
-                anneal_moves,
+                anneal_moves, incremental, portfolio_jobs,
+                portfolio_restarts,
             )
         except PnRError:
             break
+        finally:
+            tried += 1
         score = degree / candidate.timing.clock_divider
         if score > best_score:
             best, best_score = candidate, score
@@ -134,6 +328,9 @@ def compile_kernel(
             f"kernel {kernel.name!r} does not fit on {fabric.name} even "
             "at parallelism 1"
         )
+    if best.pnr is not None:
+        best.pnr.search_wall_s = time.perf_counter() - t0
+        best.pnr.degrees_tried = tried
     return best
 
 

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import math
 import random
+import time
+from collections import deque
 
 from repro.arch.fabric import Fabric
 from repro.arch.pe import PE, manhattan
@@ -107,6 +109,170 @@ class Placement:
     def total_cost(self) -> float:
         cost = sum(self.net_cost(i) for i in range(len(self.netlist.nets)))
         cost += sum(self.mem_cost(nid) for nid in self.netlist.cells)
+        return cost
+
+
+class CostTable:
+    """Per-net cached costs for O(fanout) anneal move/swap deltas.
+
+    The table mirrors :meth:`Placement.net_cost` / :meth:`Placement.mem_cost`
+    value-for-value: every cached entry is the exact float the placement
+    would recompute fresh at the current positions. Sums over cached
+    entries therefore use the *same addition order and the same operand
+    bits* as the naive :meth:`Placement.cell_cost` / :func:`_pair_cost`,
+    which is what makes the incremental anneal's accept/reject trajectory
+    bit-identical to the full-recompute one (asserted at every step by
+    ``tests/test_pnr_incremental.py``'s property suite).
+
+    Protocol: read the cached "before" via :meth:`cell_cost` /
+    :meth:`pair_cost`, mutate the placement, compute the "after" via
+    :meth:`fresh_cell_cost` / :meth:`fresh_pair_cost` (which stages the
+    recomputed entries), then :meth:`commit` on accept or :meth:`discard`
+    on revert.
+    """
+
+    __slots__ = (
+        "placement",
+        "net",
+        "mem",
+        "_mem_base",
+        "_rank",
+        "_pins",
+        "_staged_nets",
+        "_staged_mem",
+    )
+
+    def __init__(self, placement: Placement):
+        self.placement = placement
+        netlist = placement.netlist
+        self.net: list[float] = [
+            placement.net_cost(i) for i in range(len(netlist.nets))
+        ]
+        self.mem: dict[int, float] = {
+            nid: placement.mem_cost(nid) for nid in netlist.cells
+        }
+        # Position-independent part of mem_cost, precomputed per cell with
+        # the same association order as Placement.mem_cost:
+        # ((MEM_WEIGHT * mem_scale) * weight) * rank.
+        dfg = netlist.dfg
+        policy = placement.policy
+        self._mem_base: dict[int, float] = {}
+        for nid in netlist.cells:
+            node = dfg.nodes[nid]
+            if not node.is_memory():
+                continue
+            weight = policy.weight(node.criticality)
+            if weight == 0.0:
+                continue
+            self._mem_base[nid] = (
+                MEM_WEIGHT * placement.mem_scale * weight
+            )
+        fabric = placement.fabric
+        self._rank: dict[Coord, float] = {
+            pe.coord: domain_latency_rank(
+                fabric.domains[pe.domain].arbiter_hops, pe.column_rank
+            )
+            for pe in fabric.ls_pes()
+        }
+        # Per-net (src, sinks-excluding-src) in pin order: the skip of
+        # self-loop pins in Placement.net_cost is placement-independent,
+        # so it can be folded out of the hot recompute loop.
+        self._pins: list[tuple[int, tuple[int, ...]]] = [
+            (n.src, tuple(s for s in n.sinks if s != n.src))
+            for n in netlist.nets
+        ]
+        self._staged_nets: list[tuple[int, float]] = []
+        self._staged_mem: list[tuple[int, float]] = []
+
+    # -- cached reads (the "before" side of a delta) ---------------------
+
+    def cell_cost(self, nid: int) -> float:
+        """Cached twin of :meth:`Placement.cell_cost` (bit-identical)."""
+        cost = self.mem[nid]
+        net = self.net
+        for index in self.placement.netlist.nets_of[nid]:
+            cost += net[index]
+        return cost
+
+    def pair_cost(self, a: int, b: int, nets) -> float:
+        """Cached twin of :func:`_pair_cost` over an explicit net set.
+
+        ``nets`` must be the same set object later passed to
+        :meth:`fresh_pair_cost` so both sums iterate in one order.
+        """
+        cost = self.mem[a] + self.mem[b]
+        net = self.net
+        for index in nets:
+            cost += net[index]
+        return cost
+
+    # -- fresh recomputes (the "after" side; staged until commit) --------
+
+    def _fresh_net(self, index: int) -> float:
+        """Inlined twin of :meth:`Placement.net_cost` (same arithmetic)."""
+        src, sinks = self._pins[index]
+        loc = self.placement.loc
+        sx, sy = loc[src]
+        cost = 0.0
+        for sink in sinks:
+            tx, ty = loc[sink]
+            dist = abs(sx - tx) + abs(sy - ty)
+            cost += dist + QUAD_WEIGHT * dist * dist
+        return cost
+
+    def _fresh_mem(self, nid: int) -> float:
+        base = self._mem_base.get(nid)
+        if base is None:
+            return 0.0
+        return base * self._rank[self.placement.loc[nid]]
+
+    def fresh_cell_cost(self, nid: int) -> float:
+        """Recompute ``cell_cost(nid)`` fresh; stages the new entries."""
+        mem = self._fresh_mem(nid)
+        cost = mem
+        self._staged_mem = [(nid, mem)]
+        staged = self._staged_nets = []
+        fresh_net = self._fresh_net
+        for index in self.placement.netlist.nets_of[nid]:
+            value = fresh_net(index)
+            staged.append((index, value))
+            cost += value
+        return cost
+
+    def fresh_pair_cost(self, a: int, b: int, nets) -> float:
+        """Recompute ``_pair_cost(a, b)`` fresh; stages the new entries."""
+        mem_a = self._fresh_mem(a)
+        mem_b = self._fresh_mem(b)
+        cost = mem_a + mem_b
+        self._staged_mem = [(a, mem_a), (b, mem_b)]
+        staged = self._staged_nets = []
+        fresh_net = self._fresh_net
+        for index in nets:
+            value = fresh_net(index)
+            staged.append((index, value))
+            cost += value
+        return cost
+
+    def commit(self) -> None:
+        """Fold the staged recomputes into the cache (move accepted)."""
+        net = self.net
+        for index, value in self._staged_nets:
+            net[index] = value
+        mem = self.mem
+        for nid, value in self._staged_mem:
+            mem[nid] = value
+        self._staged_nets = []
+        self._staged_mem = []
+
+    def discard(self) -> None:
+        """Drop the staged recomputes (move reverted)."""
+        self._staged_nets = []
+        self._staged_mem = []
+
+    def total(self) -> float:
+        """Cached twin of :meth:`Placement.total_cost` (bit-identical)."""
+        cost = sum(self.net)
+        cost += sum(self.mem[nid] for nid in self.placement.netlist.cells)
         return cost
 
 
@@ -254,20 +420,29 @@ def _neighbors_map(dfg: DFG) -> dict[int, list[int]]:
 def _greedy_rest(
     netlist: Netlist, fabric: Fabric, placement: Placement
 ) -> None:
-    """Place remaining cells in BFS order near their placed neighbors."""
+    """Place remaining cells in BFS order near their placed neighbors.
+
+    The BFS queue is a deque (``list.pop(0)`` is O(n)) and the free-PE
+    pool is an insertion-ordered dict keyed by coord (``list.remove`` is
+    O(n)); scan order and the strict ``<`` first-minimum tie-break match
+    the original list-based implementation, so placements are
+    bit-identical (asserted on all 13 workloads by the test suite).
+    """
     dfg = netlist.dfg
     adjacency = _neighbors_map(dfg)
-    free: list[Coord] = [
-        pe.coord
+    # Insertion order == the original (y, x)-sorted scan order; dict
+    # deletion preserves the order of the remaining coords.
+    free: dict[Coord, bool] = {
+        pe.coord: pe.is_ls
         for pe in sorted(fabric.pes.values(), key=lambda p: (p.y, p.x))
         if pe.coord not in placement.occupant
-    ]
+    }
     frontier = sorted(placement.loc)
     visited = set(frontier)
-    queue = list(frontier)
+    queue = deque(frontier)
     order: list[int] = []
     while queue:
-        current = queue.pop(0)
+        current = queue.popleft()
         for neighbor in adjacency[current]:
             if neighbor not in visited:
                 visited.add(neighbor)
@@ -282,11 +457,15 @@ def _greedy_rest(
         anchors = [
             placement.loc[a] for a in adjacency[nid] if a in placement.loc
         ]
+        needs_ls = dfg.nodes[nid].op in ("load", "store")
         best, best_cost = None, None
-        for coord in free:
-            if not placement.legal(nid, coord):
+        for coord, is_ls in free.items():
+            if needs_ls and not is_ls:
                 continue
-            cost = sum(manhattan(coord, a) for a in anchors)
+            cx, cy = coord
+            cost = 0
+            for ax, ay in anchors:
+                cost += abs(cx - ax) + abs(cy - ay)
             if best_cost is None or cost < best_cost:
                 best, best_cost = coord, cost
         if best is None:
@@ -295,7 +474,7 @@ def _greedy_rest(
                 f"({dfg.nodes[nid].op})"
             )
         placement.assign(nid, best)
-        free.remove(best)
+        del free[best]
 
 
 def anneal(
@@ -304,19 +483,84 @@ def anneal(
     moves: int | None = None,
     t_start: float = 8.0,
     t_end: float = 0.05,
+    incremental: bool = True,
+    check: bool = False,
+    stats: dict | None = None,
 ) -> float:
-    """Refine ``placement`` in place; returns the final cost."""
+    """Refine ``placement`` in place; returns the final (exact) cost.
+
+    ``incremental=True`` (default) drives the accept/reject loop off a
+    :class:`CostTable`, so each proposal costs O(fanout) instead of
+    recomputing every incident net from scratch. The trajectory is
+    bit-identical to the naive full-recompute path (``incremental=False``,
+    kept as the A/B baseline): same rng call sequence, same operand bits
+    in every delta, hence the same accept/reject decisions and the same
+    final placement for a given seed.
+
+    ``check=True`` asserts the incrementally accumulated cost matches
+    ``total_cost()`` at anneal end within 1e-6 (relative). In either mode
+    the returned value is reconciled to the exact recomputed total, so a
+    cached ``CompiledKernel.place_cost`` is float-drift-free.
+
+    ``stats``, if given, is filled with ``proposals`` (moves surviving
+    the window/legality filters), ``accepted``, ``moves``, ``wall_s``,
+    and ``moves_per_s``.
+    """
+    t0 = time.perf_counter()
     netlist = placement.netlist
-    fabric = placement.fabric
     cells = list(netlist.cells)
     if not cells:
+        if stats is not None:
+            stats.update(
+                proposals=0,
+                accepted=0,
+                moves=0,
+                wall_s=0.0,
+                moves_per_s=0.0,
+            )
         return 0.0
     if moves is None:
         moves = min(60_000, 200 * len(cells))
     alpha = (t_end / t_start) ** (1.0 / max(1, moves))
+
+    if incremental:
+        cost, proposals, accepted = _anneal_incremental(
+            placement, rng, cells, moves, alpha, t_start
+        )
+    else:
+        cost, proposals, accepted = _anneal_naive(
+            placement, rng, cells, moves, alpha, t_start
+        )
+
+    exact = placement.total_cost()
+    if check and abs(cost - exact) > 1e-6 * max(1.0, abs(exact)):
+        raise PlacementError(
+            f"anneal cost drift: accumulated {cost!r} != exact {exact!r}"
+        )
+    wall = time.perf_counter() - t0
+    if stats is not None:
+        stats["proposals"] = proposals
+        stats["accepted"] = accepted
+        stats["moves"] = moves
+        stats["wall_s"] = wall
+        stats["moves_per_s"] = moves / wall if wall > 0 else 0.0
+    return exact
+
+
+def _anneal_naive(
+    placement: Placement,
+    rng: random.Random,
+    cells: list[int],
+    moves: int,
+    alpha: float,
+    t_start: float,
+) -> tuple[float, int, int]:
+    """Full-recompute anneal loop (the pre-incremental baseline)."""
+    fabric = placement.fabric
     temperature = t_start
     cost = placement.total_cost()
     max_window = max(fabric.rows, fabric.cols)
+    proposals = accepted = 0
 
     for step in range(moves):
         nid = rng.choice(cells)
@@ -347,6 +591,7 @@ def anneal(
             temperature *= alpha
             continue
 
+        proposals += 1
         if other is None:
             before = placement.cell_cost(nid)
             origin = placement.loc[nid]
@@ -356,6 +601,7 @@ def anneal(
                 placement.move(nid, origin)
             else:
                 cost += delta
+                accepted += 1
         else:
             before = _pair_cost(placement, nid, other)
             placement.swap(nid, other)
@@ -364,8 +610,205 @@ def anneal(
                 placement.swap(nid, other)
             else:
                 cost += delta
+                accepted += 1
         temperature *= alpha
-    return cost
+    return cost, proposals, accepted
+
+
+def _anneal_incremental(
+    placement: Placement,
+    rng: random.Random,
+    cells: list[int],
+    moves: int,
+    alpha: float,
+    t_start: float,
+) -> tuple[float, int, int]:
+    """Delta-cost anneal loop over a :class:`CostTable`.
+
+    Mirrors :func:`_anneal_naive` decision-for-decision: the rng is
+    consulted in the same order (choice, randint x2, then random() only
+    when delta > 0), and every cost the naive loop would compute is
+    reproduced bit-for-bit from the cache (see :class:`CostTable`). The
+    rng calls are inlined to their ``_randbelow`` cores —
+    ``choice(cells)`` is ``cells[_randbelow(len(cells))]`` and
+    ``randint(-w, w)`` is ``-w + _randbelow(2w + 1)`` — which consume
+    the identical underlying random stream without ``randrange``'s
+    per-call bounds checking. The delta recomputes are likewise inlined
+    from the :class:`CostTable` methods; the table's cached state
+    (``net``/``mem``) is read and written directly.
+    """
+    fabric = placement.fabric
+    netlist = placement.netlist
+    table = CostTable(placement)
+    temperature = t_start
+    cost = table.total()
+    max_window = max(fabric.rows, fabric.cols)
+    proposals = accepted = 0
+
+    loc = placement.loc
+    occupant = placement.occupant
+    occupant_get = occupant.get
+    nets_of = netlist.nets_of
+    ls_coords = {pe.coord for pe in fabric.ls_pes()}
+    dfg_nodes = netlist.dfg.nodes
+    needs_ls = {
+        nid for nid in cells if dfg_nodes[nid].op in ("load", "store")
+    }
+    cols_max = fabric.cols - 1
+    rows_max = fabric.rows - 1
+    getrandbits = rng.getrandbits
+    rand = rng.random
+    exp = math.exp
+    net = table.net
+    mem = table.mem
+    mem_base_get = table._mem_base.get
+    rank = table._rank
+    pins = table._pins
+    ncells = len(cells)
+
+    # Manhattan distances are small ints, so the per-sink cost term
+    # ``dist + QUAD_WEIGHT * dist**2`` takes only rows+cols distinct
+    # values; tabulating it (with the identical expression) turns two
+    # multiplies per sink into one list index, bit-for-bit.
+    dcost = [
+        float(d) + QUAD_WEIGHT * d * d
+        for d in range(cols_max + rows_max + 1)
+    ]
+    # abs(sx - px) via a wraparound lookup: axis deltas lie in
+    # [-max, max], and Python's negative indexing maps ax[-d] onto the
+    # mirrored tail, so ax[sx - px] == abs(sx - px) with no call.
+    ax = list(range(cols_max + 1)) + list(range(cols_max, 0, -1))
+    ay = list(range(rows_max + 1)) + list(range(rows_max, 0, -1))
+    # Building ``set(nets_of[a]) | set(nets_of[b])`` from cached per-cell
+    # sets yields the same union (same elements, same small-int hashing,
+    # hence the same iteration order) without two throwaway set() builds
+    # per swap proposal.
+    net_sets = {cell: set(nets_of[cell]) for cell in cells}
+
+    # The VPR window schedule depends only on the step index; tabulate
+    # (window, randint span, span bit length) for the whole anneal. The
+    # rng calls below are the unrolled cores of ``choice(cells)`` /
+    # ``randint(-window, window)``: each is ``_randbelow(n)``, i.e.
+    # draw ``n.bit_length()`` bits and reject draws >= n, which consumes
+    # the identical random stream as the naive loop's method calls
+    # (``rng`` must be getrandbits-based, as ``random.Random`` is).
+    kcells = ncells.bit_length()
+    wtab = []
+    for step in range(moves):
+        window = max(2, round(max_window * (1.0 - step / moves)))
+        span = window + window + 1
+        wtab.append((window, span, span.bit_length()))
+
+    for window, span, kspan in wtab:
+        r = getrandbits(kcells)
+        while r >= ncells:
+            r = getrandbits(kcells)
+        nid = cells[r]
+        origin = loc[nid]
+        cx, cy = origin
+        r = getrandbits(kspan)
+        while r >= span:
+            r = getrandbits(kspan)
+        tx = cx - window + r
+        if tx < 0:
+            tx = 0
+        elif tx > cols_max:
+            tx = cols_max
+        r = getrandbits(kspan)
+        while r >= span:
+            r = getrandbits(kspan)
+        ty = cy - window + r
+        if ty < 0:
+            ty = 0
+        elif ty > rows_max:
+            ty = rows_max
+        target = (tx, ty)
+        if target == origin:
+            temperature *= alpha
+            continue
+        other = occupant_get(target)
+        if nid in needs_ls and target not in ls_coords:
+            temperature *= alpha
+            continue
+        if (
+            other is not None
+            and other in needs_ls
+            and origin not in ls_coords
+        ):
+            temperature *= alpha
+            continue
+
+        proposals += 1
+        if other is None:
+            # MOVE: inlined cell_cost (cached) / fresh_cell_cost.
+            nid_nets = nets_of[nid]
+            before = mem[nid]
+            for index in nid_nets:
+                before += net[index]
+            del occupant[origin]
+            loc[nid] = target
+            occupant[target] = nid
+            base = mem_base_get(nid)
+            new_mem = 0.0 if base is None else base * rank[target]
+            after = new_mem
+            staged = []
+            for index in nid_nets:
+                src, sinks = pins[index]
+                sx, sy = loc[src]
+                value = 0.0
+                for sink in sinks:
+                    px, py = loc[sink]
+                    value += dcost[ax[sx - px] + ay[sy - py]]
+                staged.append(value)
+                after += value
+            delta = after - before
+            if delta > 0 and rand() >= exp(-delta / temperature):
+                del occupant[target]
+                loc[nid] = origin
+                occupant[origin] = nid
+            else:
+                cost += delta
+                mem[nid] = new_mem
+                for index, value in zip(nid_nets, staged):
+                    net[index] = value
+                accepted += 1
+        else:
+            # SWAP: inlined pair_cost (cached) / fresh_pair_cost. One
+            # set object drives both sums, so they iterate in one order.
+            nets = net_sets[nid] | net_sets[other]
+            before = mem[nid] + mem[other]
+            for index in nets:
+                before += net[index]
+            loc[nid], loc[other] = target, origin
+            occupant[origin], occupant[target] = other, nid
+            base = mem_base_get(nid)
+            new_mem_a = 0.0 if base is None else base * rank[target]
+            base = mem_base_get(other)
+            new_mem_b = 0.0 if base is None else base * rank[origin]
+            after = new_mem_a + new_mem_b
+            staged = []
+            for index in nets:
+                src, sinks = pins[index]
+                sx, sy = loc[src]
+                value = 0.0
+                for sink in sinks:
+                    px, py = loc[sink]
+                    value += dcost[ax[sx - px] + ay[sy - py]]
+                staged.append((index, value))
+                after += value
+            delta = after - before
+            if delta > 0 and rand() >= exp(-delta / temperature):
+                loc[nid], loc[other] = origin, target
+                occupant[origin], occupant[target] = nid, other
+            else:
+                cost += delta
+                mem[nid] = new_mem_a
+                mem[other] = new_mem_b
+                for index, value in staged:
+                    net[index] = value
+                accepted += 1
+        temperature *= alpha
+    return cost, proposals, accepted
 
 
 def _pair_cost(placement: Placement, a: int, b: int) -> float:

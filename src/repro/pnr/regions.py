@@ -121,6 +121,22 @@ def _definite_writes(stmt: Stmt) -> set[str]:
     return set()  # loops may run zero iterations
 
 
+def _possible_writes(stmt: Stmt) -> set[str]:
+    """Vars assigned anywhere in ``stmt`` — on any path, any iteration.
+
+    The may-write complement of :func:`_definite_writes`. Spill decisions
+    must use this set: a loop body's assignment may clobber a variable at
+    runtime even though the loop is not guaranteed to run, so a region
+    containing it cannot let an earlier region's spill of that variable
+    stand as the slot's final value.
+    """
+    writes: set[str] = set()
+    for inner in walk_stmts([stmt]):
+        if isinstance(inner, (Assign, Load)):
+            writes.add(inner.var)
+    return writes
+
+
 def _fits(kernel: Kernel, fabric: Fabric, margin: float) -> bool:
     dfg = lower_kernel(kernel)
     if len(dfg) > margin * fabric.size():
@@ -139,10 +155,11 @@ def split_kernel(
     a region that fits by node count still fails placement or routing.
     """
     statements = list(kernel.body)
-    # Per top-level statement: what it reads (anywhere) and definitely
-    # defines at top level.
+    # Per top-level statement: what it reads (anywhere), definitely
+    # defines on every path, and may write on some path.
     reads = [_recursive_reads(s) for s in statements]
     defines = [_definite_writes(s) for s in statements]
+    writes = [_possible_writes(s) for s in statements]
 
     boundaries: list[tuple[int, int]] = []  # [start, end) stmt ranges
     start = 0
@@ -154,9 +171,34 @@ def split_kernel(
                 _live_in(statements, reads, defines, start, end)
                 - set(kernel.params)
             )
+            # Account for the spill stores this region would carry: an
+            # overapproximation (any var it may write that any later
+            # statement reads), so the fit decision never under-counts
+            # the final region kernel. Vars the region only possibly
+            # defines ride along as live-in, mirroring the final split.
+            probe_later: set[str] = set()
+            for later in range(end, len(statements)):
+                probe_later |= reads[later]
+            probe_written: set[str] = set()
+            probe_defined: set[str] = set()
+            for i in range(start, end):
+                probe_written |= writes[i]
+                probe_defined |= defines[i]
+            earlier_probe: set[str] = set()
+            for i in range(start):
+                earlier_probe |= writes[i]
+            probe_spills = {
+                var: 0
+                for var in sorted(probe_written & probe_later)
+                if var in probe_defined or var in earlier_probe
+            }
+            probe_live = sorted(
+                set(probe_live)
+                | {v for v in probe_spills if v not in probe_defined}
+            )
             candidate = _region_kernel(
-                kernel, statements, reads, defines, start, end, {},
-                live_in=probe_live,
+                kernel, statements, reads, defines, start, end,
+                probe_spills, live_in=probe_live,
             )
             if _fits(candidate, fabric, margin):
                 last_good = end
@@ -172,19 +214,26 @@ def split_kernel(
         boundaries.append((start, last_good))
         start = last_good
 
-    # Assign spill slots: vars defined in one region and read in a later
-    # one.
+    # Assign spill slots: vars a region may write and a later region
+    # reads. May-writes (not definite writes) decide who spills — a var
+    # reassigned inside a loop body must be re-spilled by the region
+    # holding that loop even though the loop is not guaranteed to run,
+    # or later regions would read the stale value of an earlier spill.
     spill_slots: dict[str, int] = {}
     defined_by_region: list[set[str]] = []
+    written_by_region: list[set[str]] = []
     for s, e in boundaries:
         defined: set[str] = set()
+        written: set[str] = set()
         for i in range(s, e):
             defined |= defines[i]
+            written |= writes[i]
         defined_by_region.append(defined)
+        written_by_region.append(written)
     for index, (s, e) in enumerate(boundaries):
         earlier: set[str] = set()
         for prev in range(index):
-            earlier |= defined_by_region[prev]
+            earlier |= written_by_region[prev]
         needed = _live_in(statements, reads, defines, s, e) & earlier
         for var in sorted(needed):
             spill_slots.setdefault(var, len(spill_slots))
@@ -198,21 +247,29 @@ def split_kernel(
     for index, (s, e) in enumerate(boundaries):
         earlier = set()
         for prev in range(index):
-            earlier |= defined_by_region[prev]
-        live_in = sorted(
-            _live_in(statements, reads, defines, s, e) & earlier
-        )
-        # Spill everything later regions will need that this region
-        # definitely defines (or received and must forward? forwarding is
-        # unnecessary: a received live-in stays in the spill array).
+            earlier |= written_by_region[prev]
         live_later: set[str] = set()
         for later in range(e, len(statements)):
             live_later |= reads[later]
+        # Spill everything later regions will need that this region may
+        # write. The spill store at the region's end must always read a
+        # defined value, so a var this region only *possibly* defines is
+        # spillable only when the region can also receive it as a
+        # live-in (some earlier region wrote it); the loop-skipped path
+        # then simply forwards the incoming value.
         spills = {
             var: spill_slots[var]
-            for var in sorted(defined_by_region[index] & live_later)
+            for var in sorted(written_by_region[index] & live_later)
             if var in spill_slots
+            and (var in defined_by_region[index] or var in earlier)
         }
+        forwarded = {
+            var for var in spills if var not in defined_by_region[index]
+        }
+        live_in = sorted(
+            (_live_in(statements, reads, defines, s, e) | forwarded)
+            & earlier
+        )
         region_kernel = _region_kernel(
             kernel, statements, reads, defines, s, e, spills,
             live_in=live_in,

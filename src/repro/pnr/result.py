@@ -15,6 +15,46 @@ Coord = tuple[int, int]
 
 
 @dataclass
+class PnRStats:
+    """Compile-time telemetry for one PnR run (wall times are volatile)."""
+
+    place_wall_s: float = 0.0
+    route_wall_s: float = 0.0
+    total_wall_s: float = 0.0
+    anneal_moves: int = 0
+    anneal_proposals: int = 0
+    anneal_accepted: int = 0
+    moves_per_s: float = 0.0
+    route_iterations: int = 0
+    nets_rerouted: int = 0
+    #: Mem-scale candidates actually evaluated for the winning compile.
+    candidates: int = 0
+    portfolio_jobs: int = 1
+    incremental: bool = True
+    #: Parallelism-search overhead (compile_kernel only).
+    search_wall_s: float = 0.0
+    degrees_tried: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "place_wall_s": self.place_wall_s,
+            "route_wall_s": self.route_wall_s,
+            "total_wall_s": self.total_wall_s,
+            "anneal_moves": self.anneal_moves,
+            "anneal_proposals": self.anneal_proposals,
+            "anneal_accepted": self.anneal_accepted,
+            "moves_per_s": self.moves_per_s,
+            "route_iterations": self.route_iterations,
+            "nets_rerouted": self.nets_rerouted,
+            "candidates": self.candidates,
+            "portfolio_jobs": self.portfolio_jobs,
+            "incremental": self.incremental,
+            "search_wall_s": self.search_wall_s,
+            "degrees_tried": self.degrees_tried,
+        }
+
+
+@dataclass
 class CompiledKernel:
     """A kernel after lowering, analysis, placement, routing and timing."""
 
@@ -28,6 +68,7 @@ class CompiledKernel:
     parallelism: int = 1
     place_cost: float = 0.0
     meta: dict = field(default_factory=dict)
+    pnr: PnRStats | None = None
 
     @property
     def clock_divider(self) -> int:

@@ -19,7 +19,10 @@ from repro.pnr.route import RoutingResult
 class TimingReport:
     """Result of static timing on a routed design."""
 
-    max_hops: int
+    #: Float wire units, not a switch count: diagonal/skip tracks make
+    #: path lengths fractional, and truncating here would corrupt the
+    #: Fig. 17 path-delay figures.
+    max_hops: float
     max_path_delay_units: float
     clock_divider: int
 

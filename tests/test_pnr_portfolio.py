@@ -1,0 +1,90 @@
+"""Portfolio (process-pool) compile path: equivalence and telemetry.
+
+``compile_once(portfolio_jobs > 1)`` farms the mem-scale candidates out
+to a process pool; the selection loop replays the exact serial
+tie-break, so the compiled artifact must be *bit-identical* to the
+serial path's. These tests pin that contract, the PnRStats telemetry
+that rides on every compile, and its plumbing into run manifests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.bench_pnr_compile import pnr_digest
+from repro.arch.fabric import monaco
+from repro.arch.params import ArchParams
+from repro.exp.configs import MONACO
+from repro.exp.runner import compile_cached, run_config
+from repro.obs.manifest import build_manifest, stable_view
+from repro.pnr.flow import compile_once, shutdown_portfolio_pool
+from repro.workloads.registry import make_workload
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _pool_teardown():
+    """Workers die with the module; shutdown twice proves idempotence."""
+    yield
+    shutdown_portfolio_pool()
+    shutdown_portfolio_pool()
+
+
+def _compile(workload: str, **kwargs):
+    kernel = make_workload(workload, scale="tiny", seed=0).kernel
+    return compile_once(
+        kernel, monaco(12, 12), ArchParams(), parallelism=1, seed=0,
+        **kwargs,
+    )
+
+
+@pytest.mark.parametrize("workload", ["spmv", "vww"])
+def test_portfolio_matches_serial(workload):
+    """Pooled candidate evaluation picks the exact serial winner."""
+    serial = _compile(workload, portfolio_jobs=1)
+    pooled = _compile(workload, portfolio_jobs=2)
+    assert pooled.placement == serial.placement
+    assert pooled.timing.clock_divider == serial.timing.clock_divider
+    assert pooled.place_cost == serial.place_cost
+    assert pnr_digest(pooled) == pnr_digest(serial)
+
+
+def test_portfolio_restarts_match_serial():
+    """Extra placement restarts: same winner either way, more candidates."""
+    serial = _compile("spmspv", portfolio_jobs=1, portfolio_restarts=2)
+    pooled = _compile("spmspv", portfolio_jobs=3, portfolio_restarts=2)
+    assert pnr_digest(pooled) == pnr_digest(serial)
+    assert serial.pnr.candidates == pooled.pnr.candidates >= 1
+
+
+def test_pnr_stats_populated():
+    """Every compile carries its compile-time telemetry."""
+    compiled = _compile("dmv", portfolio_jobs=2)
+    stats = compiled.pnr
+    assert stats is not None
+    assert stats.incremental
+    assert stats.portfolio_jobs == 2
+    assert stats.anneal_moves > 0
+    assert stats.anneal_proposals >= stats.anneal_accepted > 0
+    assert stats.route_iterations >= 1
+    assert stats.candidates >= 1
+    assert stats.total_wall_s > 0.0
+    d = stats.to_dict()
+    assert d["anneal_moves"] == stats.anneal_moves
+
+    naive = _compile("dmv", incremental=False)
+    assert not naive.pnr.incremental
+    assert pnr_digest(naive) == pnr_digest(compiled)
+
+
+def test_manifest_carries_pnr_and_stable_view_drops_it():
+    """PnRStats lands in the manifest record as volatile telemetry."""
+    instance = make_workload("dmv", scale="tiny", seed=0)
+    arch = ArchParams()
+    compiled = compile_cached(
+        instance, monaco(12, 12), arch, parallelism=1, seed=0
+    )
+    run = run_config(instance, compiled, MONACO, arch)
+    record = build_manifest(run, scale="tiny", seed=0, divider=4)
+    assert record["pnr"]["anneal_moves"] > 0
+    assert record["pnr"]["candidates"] >= 1
+    assert "pnr" not in stable_view(record)

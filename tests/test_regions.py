@@ -69,6 +69,33 @@ class TestSplitting:
             split_kernel(inst.kernel, monaco(4, 4))
 
 
+def loop_clobber_kernel(n=8, phases=3):
+    """A scalar defined early, *reassigned inside a loop* mid-program.
+
+    The mid-program loop only may-writes ``acc`` (a loop body is never a
+    definite write — it could run zero iterations), so spill decisions
+    keyed on definite writes would let the first region's spill of the
+    original value stand and the final region would read a stale
+    ``acc``. Regression for the may-write spill rule.
+    """
+    b = KernelBuilder("clobber", params=["n"])
+    a = b.array("A", n)
+    c = b.array("B", n)
+    acc = b.let("acc", b.p.n * 3)
+    for p in range(phases):
+        src, dst = (a, c) if p % 2 == 0 else (c, a)
+        with b.parfor(f"i{p}", 0, b.p.n) as i:
+            dst.store(i, src.load(i) + p)
+    with b.for_("k", 0, b.p.n) as k:
+        b.set(acc, acc + a.load(k))
+    for p in range(phases):
+        src, dst = (a, c) if p % 2 == 0 else (c, a)
+        with b.parfor(f"j{p}", 0, b.p.n) as j:
+            dst.store(j, src.load(j) + p)
+    a.store(0, acc)
+    return b.build()
+
+
 class TestExecution:
     def test_multi_region_result_matches_reference(self):
         kernel = multiphase_kernel(phases=4)
@@ -82,6 +109,28 @@ class TestExecution:
         result = simulate_regions(compiled, params, arrays, ARCH)
         assert result.memory["A"] == reference["A"]
         assert result.memory["B"] == reference["B"]
+
+    def test_loop_reassigned_scalar_is_respilled(self):
+        """A region that may-writes a spilled scalar must re-spill it."""
+        kernel = loop_clobber_kernel()
+        params = {"n": 8}
+        arrays = {"A": list(range(8))}
+        reference = run_kernel(kernel, params, arrays)
+        program = split_kernel(kernel, monaco(6, 6))
+        assert len(program) >= 2
+        # Whichever region holds the accumulating loop must spill acc
+        # again, not rely on the defining region's spill.
+        holders = [
+            idx
+            for idx, region in enumerate(program.regions)
+            if "acc" in region.spills
+        ]
+        assert len(holders) >= 2 or holders == [len(program) - 1]
+        compiled = compile_region_program(
+            kernel, monaco(6, 6), ARCH, EFFCC, seed=1
+        )
+        result = simulate_regions(compiled, params, arrays, ARCH)
+        assert result.memory["A"] == reference["A"]
 
     def test_total_cycles_include_reconfiguration(self):
         kernel = multiphase_kernel(phases=4)
