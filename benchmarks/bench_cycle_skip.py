@@ -10,7 +10,7 @@ idle latency gaps. Acceptance floor: >= 3x.
 
 import time
 
-from conftest import BENCH_SCALE, save_result
+from conftest import BENCH_SCALE, record_bench, save_result
 from repro.arch.fabric import monaco
 from repro.arch.params import ArchParams, MemoryParams, SimParams
 from repro.core.policy import EFFCC
@@ -68,6 +68,23 @@ def test_cycle_skip_speedup(benchmark):
         f"  wall-clock speedup {speedup:>7.1f}x  (acceptance floor: 3x)",
     ]
     save_result("cycle_skip", "\n".join(lines))
+    record_bench(
+        "cycle_skip",
+        workload="spmspv",
+        cycles=on.stats.system_cycles,
+        wall_s=on_s,
+        config={
+            "scale": BENCH_SCALE,
+            "cache_lines": 0,
+            "memory_cycles": 256,
+            "cycle_skip": True,
+        },
+        extra={
+            "wall_s_per_cycle_loop": round(off_s, 6),
+            "speedup": round(speedup, 3),
+            "skipped_fraction": round(skipped, 4),
+        },
+    )
     assert speedup >= 3.0, f"expected >=3x, got {speedup:.2f}x"
 
 

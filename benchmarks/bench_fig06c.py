@@ -4,16 +4,28 @@ Paper claim: NUPEA performs nearly as well as an idealized 0-cycle UPEA
 design and ~32% better than a practical 2-cycle UPEA design.
 """
 
-from conftest import BENCH_SCALE, save_result
+import time
+
+from conftest import BENCH_SCALE, record_bench, save_result
 from repro.exp.figures import fig6c
 from repro.exp.report import format_figure
 
 
 def test_fig6c(benchmark):
+    start = time.perf_counter()
     result = benchmark.pedantic(
         lambda: fig6c(scale=BENCH_SCALE), rounds=1, iterations=1
     )
+    wall_s = time.perf_counter() - start
     save_result("fig06c", format_figure(result))
     row = result.rows["spmspv"]
+    record_bench(
+        "fig06c",
+        workload="spmspv",
+        cycles=result.raw["spmspv"]["nupea"],
+        wall_s=wall_s,
+        config={"scale": BENCH_SCALE, "configs": ["upea0", "upea2", "nupea"]},
+        extra={"slowdown_upea2": round(row["upea2"], 4)},
+    )
     assert row["upea2"] > 1.05, "practical UPEA should lose to NUPEA"
     assert row["upea0"] <= 1.05, "NUPEA should be near the ideal design"

@@ -5,16 +5,30 @@ NUMA-UPEA by avg 20%, and is within 21% of the ideal design. At our scaled
 inputs the same ordering holds with compressed magnitudes (EXPERIMENTS.md).
 """
 
-from conftest import BENCH_SCALE, save_result
+import time
+
+from conftest import BENCH_SCALE, record_bench, save_result
 from repro.exp.figures import fig11
 from repro.exp.report import format_figure
 
 
 def test_fig11(benchmark):
+    start = time.perf_counter()
     result = benchmark.pedantic(
         lambda: fig11(scale=BENCH_SCALE), rounds=1, iterations=1
     )
+    wall_s = time.perf_counter() - start
     save_result("fig11", format_figure(result))
+    record_bench(
+        "fig11",
+        wall_s=wall_s,
+        config={"scale": BENCH_SCALE, "workloads": sorted(result.rows)},
+        extra={
+            "geomean_upea2": round(result.geomean("upea2"), 4),
+            "geomean_numa_upea2": round(result.geomean("numa-upea2"), 4),
+            "geomean_ideal": round(result.geomean("ideal"), 4),
+        },
+    )
     assert len(result.rows) == 13
     assert result.geomean("upea2") > 1.05
     assert result.geomean("numa-upea2") > 1.03

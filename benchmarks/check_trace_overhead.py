@@ -1,6 +1,6 @@
 """CI guard: the observability layer must cost nothing when off.
 
-Three checks, all deterministic except the timing ratio:
+Four checks, all deterministic except the timing ratios:
 
 1. **Gating** — an untraced run must carry no observation object at all
    (``result.obs is None``): every publish site in the engine, memory
@@ -11,6 +11,12 @@ Three checks, all deterministic except the timing ratio:
 3. **Timing sanity** — the untraced median must not exceed the traced
    median (with slack for CI noise): if the off path ever does the on
    path's work, the two medians collapse together from the wrong side.
+4. **Detached critical-path profiler** — with ``sim.critpath`` false
+   (the default), the profiler's publish sites (``fire_pops``/``push``)
+   must vanish behind the same None gate: stats and memory bit-identical
+   to the plain off run, wall time within the same noise bound, and
+   ``stats.critpath`` empty. A critpath-on run must carry the recorder
+   and a report whose category costs sum to ``system_cycles`` exactly.
 
 The absolute pre/post-PR regression gate is ``bench_cycle_skip``'s >=3x
 speedup floor, which runs in the same CI job; this script pins the
@@ -59,10 +65,15 @@ def main() -> int:
     instance = make_workload(WORKLOAD, scale=SCALE)
     arch_off = ArchParams(sim=SimParams(trace=False))
     arch_on = ArchParams(sim=SimParams(trace=True))
+    arch_crit = ArchParams(sim=SimParams(critpath=True))
     compiled = compile_cached(instance, monaco(12, 12), arch_off)
 
     runs = {}
-    for label, arch in (("off", arch_off), ("on", arch_on)):
+    for label, arch in (
+        ("off", arch_off),
+        ("on", arch_on),
+        ("crit", arch_crit),
+    ):
         results, times = [], []
         for _ in range(ROUNDS):
             result, elapsed = timed_run(compiled, instance, arch)
@@ -72,6 +83,7 @@ def main() -> int:
 
     off_results, off_s = runs["off"]
     on_results, on_s = runs["on"]
+    crit_results, crit_s = runs["crit"]
 
     # 1. Gating: no observation object may exist on the off path.
     assert all(r.obs is None for r in off_results), (
@@ -104,6 +116,59 @@ def main() -> int:
             file=sys.stderr,
         )
         return 1
+
+    # 4. Critical-path profiler: attached it must balance its books;
+    #    detached (the plain off run) it must not exist at all.
+    assert all(r.obs is not None for r in crit_results)
+    assert crit_results[0].stats == off_results[0].stats, (
+        "critical-path profiling changed simulation stats"
+    )
+    assert crit_results[0].memory == off_results[0].memory, (
+        "critical-path profiling changed simulated memory"
+    )
+    report = crit_results[0].obs.critpath.report
+    total = sum(report["categories"].values())
+    assert total == report["system_cycles"], (
+        f"critpath attribution sums to {total}, "
+        f"system_cycles is {report['system_cycles']}"
+    )
+    assert not off_results[0].stats.critpath, (
+        "detached run carries a critpath report"
+    )
+    crit_overhead = (crit_s - off_s) / off_s
+    print(
+        f"{WORKLOAD}/{SCALE}: critpath-on median {crit_s:.3f}s "
+        f"(overhead {crit_overhead:+.1%}); attribution sums to "
+        f"{total:,d} == system_cycles"
+    )
+    if off_s > crit_s * NOISE_SLACK:
+        print(
+            f"FAIL: profiler-detached run slower than profiler-attached "
+            f"run ({off_s:.3f}s vs {crit_s:.3f}s) -- the detached path "
+            "is doing critpath work",
+            file=sys.stderr,
+        )
+        return 1
+
+    try:
+        from conftest import record_bench
+    except ImportError:
+        record_bench = None
+    if record_bench is not None:
+        record_bench(
+            "trace_overhead",
+            workload=WORKLOAD,
+            cycles=off_results[0].stats.system_cycles,
+            wall_s=off_s,
+            config={"scale": SCALE, "rounds": ROUNDS},
+            extra={
+                "wall_s_traced": round(on_s, 6),
+                "wall_s_critpath": round(crit_s, 6),
+                "trace_overhead": round(overhead, 4),
+                "critpath_overhead": round(crit_overhead, 4),
+            },
+        )
+
     print("OK: off path carries no observation and matches traced stats")
     return 0
 

@@ -13,9 +13,12 @@ suite's wall clock before this; see EXPERIMENTS.md).
 
 from __future__ import annotations
 
+import json
 import pathlib
+import time
 
 from repro.exp.cache import GLOBAL_CACHE
+from repro.obs.manifest import config_digest, git_rev
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -35,3 +38,41 @@ def save_result(name: str, text: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     print(f"\n{text}")
+
+
+def record_bench(
+    name: str,
+    *,
+    wall_s: float,
+    workload: str | None = None,
+    cycles: int | None = None,
+    config: dict | None = None,
+    extra: dict | None = None,
+) -> pathlib.Path:
+    """Persist machine-readable telemetry for one benchmark.
+
+    Writes ``results/BENCH_<name>.json`` with the workload, simulated
+    cycle count, wall time, and a stable digest of the configuration
+    knobs that define the measurement (same digest helper the run
+    manifests use, so a perf regression can be tied to the exact config
+    it ran under). One file per benchmark, overwritten in place — the
+    perf-trajectory record is the sequence of these files across
+    revisions, keyed by ``git_rev``.
+    """
+    config = dict(config or {})
+    payload = {
+        "schema": 1,
+        "bench": name,
+        "workload": workload,
+        "cycles": cycles,
+        "wall_s": round(wall_s, 6),
+        "config": {key: config[key] for key in sorted(config)},
+        "config_digest": config_digest(config),
+        "git_rev": git_rev(),
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        **(extra or {}),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

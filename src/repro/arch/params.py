@@ -146,6 +146,14 @@ class SimParams:
     #: When tracing, also collect a Chrome ``trace_event`` timeline and —
     #: if a path is given — write it at the end of the run.
     trace_path: str | None = None
+    #: Dynamic critical-path profiling (see :mod:`repro.obs.critpath`).
+    #: Off by default and wired like ``trace``: with ``critpath=False``
+    #: the engine publishes nothing and results are bit-identical to a
+    #: build without the profiler; with it on, the recorder only
+    #: *listens*, so simulated results are still bit-identical — the
+    #: attribution lands in ``SimStats.critpath`` (a compare-excluded
+    #: field) and the full report on ``Observation.critpath``.
+    critpath: bool = False
     #: Deterministic fault injection (see :class:`FaultParams` and
     #: :mod:`repro.sim.faults`). ``None`` = off; the off-path publishes
     #: nothing and is verified bit-identical to a build without the

@@ -7,6 +7,11 @@ Commands:
 * ``run`` — compile and simulate one workload on one configuration;
 * ``profile`` — run with cycle-attribution tracing and print the stall
   taxonomy tables, latency percentiles, and traffic heatmaps;
+* ``critpath`` — run with the dynamic critical-path profiler and print
+  cycle-exact blame attribution (segment costs sum to ``system_cycles``),
+  dynamic criticality and slack per load; ``--validate`` scores the
+  static class-A/B heuristic against measured criticality on every
+  Table 1 workload;
 * ``trace`` — run with tracing and export a Chrome ``trace_event`` JSON
   (load it in Perfetto / ``chrome://tracing``);
 * ``figure`` — regenerate one of the paper's evaluation figures;
@@ -55,6 +60,7 @@ FIGURES = {
     "fig17": figures_mod.fig17,
     "stalls": figures_mod.fig_stalls,
     "jitter": figures_mod.fig_jitter,
+    "critblame": figures_mod.fig_critblame,
 }
 
 
@@ -162,8 +168,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="rows of the per-node attribution table (default 20)",
     )
     p_profile.add_argument(
+        "--by-class", action="store_true",
+        help="also fold the per-node stall buckets into criticality-"
+        "class totals (A / B / C / non-mem)",
+    )
+    p_profile.add_argument(
         "--stats-json", default=None, metavar="PATH",
         help="also write the run's SimStats as machine-readable JSON",
+    )
+
+    p_crit = sub.add_parser(
+        "critpath",
+        help="simulate with the dynamic critical-path profiler and "
+        "print cycle-exact blame attribution (costs sum to "
+        "system_cycles); --validate scores the static class-A/B "
+        "heuristic against measured criticality on every workload",
+    )
+    p_crit.add_argument(
+        "workload", choices=sorted(ALL_WORKLOADS), nargs="?", default=None,
+    )
+    p_crit.add_argument("--scale", default="small")
+    p_crit.add_argument(
+        "--config", default="monaco",
+        help="monaco | ideal | upeaN | numaN (default: monaco)",
+    )
+    p_crit.add_argument(
+        "--policy", choices=sorted(POLICIES), default="effcc"
+    )
+    p_crit.add_argument("--rows", type=int, default=12)
+    p_crit.add_argument("--cols", type=int, default=12)
+    p_crit.add_argument("--topology", default="monaco")
+    p_crit.add_argument("--tracks", type=int, default=3)
+    p_crit.add_argument("--seed", type=int, default=0)
+    p_crit.add_argument(
+        "--top", type=int, default=10,
+        help="rows of the critical-memory-node table (default 10)",
+    )
+    p_crit.add_argument(
+        "--validate", action="store_true",
+        help="run every Table 1 workload and print the static-vs-"
+        "dynamic precision/recall table",
+    )
+    p_crit.add_argument(
+        "--threshold", type=float, default=0.01,
+        help="dynamic-criticality threshold for --validate and the "
+        "per-workload confusion line (default 0.01)",
+    )
+    p_crit.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the full attribution report as JSON",
     )
 
     p_trace = sub.add_parser(
@@ -434,6 +487,103 @@ def _traced_run(args, trace_path=None):
     return fabric, compiled, config, run
 
 
+def _critpath_run(args, workload: str):
+    """One profiled run: compile ``workload`` and simulate with the
+    critical-path recorder attached."""
+    from repro.arch.params import SimParams
+
+    instance = make_workload(workload, scale=args.scale, seed=args.seed)
+    arch = ArchParams(
+        noc_tracks=args.tracks, sim=SimParams(critpath=True)
+    )
+    fabric = build_fabric(args.topology, args.rows, args.cols)
+    policy = get_policy(args.policy)
+    compiled = compile_cached(
+        instance, fabric, arch, policy=policy, seed=args.seed
+    )
+    config = _config_for(args.config)
+    divider = max(PAPER_DIVIDER, compiled.timing.clock_divider)
+    run = run_config(instance, compiled, config, arch, divider=divider)
+    return compiled, config, run
+
+
+def cmd_critpath(args) -> int:
+    from repro.core.criticality import (
+        format_validation_table,
+        validate_against_dynamic,
+    )
+
+    if args.validate:
+        rows = []
+        reports = {}
+        for name in sorted(ALL_WORKLOADS):
+            compiled, config, run = _critpath_run(args, name)
+            recorder = run.obs.critpath
+            rows.extend(
+                validate_against_dynamic(
+                    name,
+                    compiled.criticality,
+                    recorder.dynamic_criticality(),
+                    threshold=args.threshold,
+                )
+            )
+            reports[name] = recorder.report
+            print(
+                f"{name:12s} {run.cycles:>10d} cycles on {config.name} "
+                "(output verified)"
+            )
+        print()
+        print(format_validation_table(rows, args.threshold))
+        if args.json:
+            payload = {
+                "threshold": args.threshold,
+                "rows": [
+                    {
+                        "workload": r.workload,
+                        "classes": r.classes,
+                        "predicted": r.predicted,
+                        "actual": r.actual,
+                        "true_positive": r.true_positive,
+                        "precision": r.precision,
+                        "recall": r.recall,
+                    }
+                    for r in rows
+                ],
+                "reports": reports,
+            }
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"validation JSON written to {args.json}")
+        return 0
+    if args.workload is None:
+        raise SystemExit("pass a workload, or --validate for all of them")
+    compiled, config, run = _critpath_run(args, args.workload)
+    recorder = run.obs.critpath
+    print(compiled.summary())
+    print(
+        f"{args.workload} on {config.name}: {run.cycles} system cycles "
+        f"(output verified)"
+    )
+    print("stats:", run.stats.summary())
+    print()
+    print(recorder.render(top=args.top))
+    print()
+    rows = validate_against_dynamic(
+        args.workload,
+        compiled.criticality,
+        recorder.dynamic_criticality(),
+        threshold=args.threshold,
+    )
+    print(format_validation_table(rows, args.threshold))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(recorder.report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"attribution JSON written to {args.json}")
+    return 0
+
+
 def cmd_profile(args) -> int:
     fabric, compiled, config, run = _traced_run(args)
     print(compiled.summary())
@@ -445,6 +595,9 @@ def cmd_profile(args) -> int:
     obs = run.obs
     print()
     print(obs.attribution.render(top=args.top))
+    if args.by_class:
+        print()
+        print(obs.attribution.render_by_class())
     agg = obs.attribution.aggregate()
     attributed = sum(agg.values())
     n_nodes = max(1, len(obs.attribution.per_node))
@@ -482,7 +635,7 @@ def cmd_figure(args) -> int:
     fig = FIGURES[args.name]
     kwargs = {"scale": args.scale}
     if args.workloads and args.name in (
-        "fig11", "fig12", "fig14", "fig15", "stalls", "jitter",
+        "fig11", "fig12", "fig14", "fig15", "stalls", "jitter", "critblame",
     ):
         kwargs["workloads"] = args.workloads
     if args.jobs > 1 and args.name == "fig11":
@@ -720,6 +873,7 @@ COMMANDS = {
     "fabric": cmd_fabric,
     "run": cmd_run,
     "profile": cmd_profile,
+    "critpath": cmd_critpath,
     "trace": cmd_trace,
     "figure": cmd_figure,
     "sweep": cmd_sweep,

@@ -103,6 +103,106 @@ def analyze_criticality(dfg: DFG) -> CriticalityReport:
     return report
 
 
+@dataclass
+class ValidationRow:
+    """Static-vs-dynamic agreement for one workload and one class set.
+
+    The static classifier (class A, or A∪B) predicts which memory nodes
+    are critical; the measured ground truth is the dynamic criticality
+    from :mod:`repro.obs.critpath` (fraction of the critical path spent
+    in each node's memory round-trips). Standard retrieval framing:
+    *precision* = of the statically flagged nodes, how many were
+    dynamically critical; *recall* = of the dynamically critical nodes,
+    how many the static heuristic flagged.
+    """
+
+    workload: str
+    classes: str
+    predicted: int
+    actual: int
+    true_positive: int
+
+    @property
+    def precision(self) -> float | None:
+        if not self.predicted:
+            return None
+        return self.true_positive / self.predicted
+
+    @property
+    def recall(self) -> float | None:
+        if not self.actual:
+            return None
+        return self.true_positive / self.actual
+
+
+def validate_against_dynamic(
+    workload: str,
+    report: CriticalityReport,
+    dynamic: dict[int, float],
+    threshold: float = 0.01,
+) -> list[ValidationRow]:
+    """Score the static class-A (and A∪B) sets against measured
+    criticality.
+
+    ``dynamic`` maps memory nid -> fraction of the critical path through
+    that node (see
+    :meth:`repro.obs.critpath.CriticalPathRecorder.dynamic_criticality`);
+    a node is *dynamically critical* when its fraction reaches
+    ``threshold``. Returns one row for class ``A`` and one for ``A+B``.
+    """
+    actual = {nid for nid, frac in dynamic.items() if frac >= threshold}
+    rows = []
+    for classes, predicted in (
+        ("A", set(report.class_a)),
+        ("A+B", set(report.class_a) | set(report.class_b)),
+    ):
+        rows.append(
+            ValidationRow(
+                workload=workload,
+                classes=classes,
+                predicted=len(predicted),
+                actual=len(actual),
+                true_positive=len(predicted & actual),
+            )
+        )
+    return rows
+
+
+def format_validation_table(
+    rows: list[ValidationRow], threshold: float
+) -> str:
+    """Aligned static-vs-dynamic table with micro-averaged totals."""
+
+    def fmt(value: float | None) -> str:
+        return "-" if value is None else f"{value:.2f}"
+
+    lines = [
+        "static classification vs measured dynamic criticality "
+        f"(critical = >= {threshold:.0%} of the critical path):",
+        "  workload     set  pred  crit    tp  precision  recall",
+    ]
+    totals: dict[str, list[int]] = {}
+    for row in rows:
+        lines.append(
+            f"  {row.workload:12s} {row.classes:>3s} {row.predicted:5d} "
+            f"{row.actual:5d} {row.true_positive:5d} "
+            f"{fmt(row.precision):>10s} {fmt(row.recall):>7s}"
+        )
+        agg = totals.setdefault(row.classes, [0, 0, 0])
+        agg[0] += row.predicted
+        agg[1] += row.actual
+        agg[2] += row.true_positive
+    for classes in sorted(totals):
+        predicted, actual, tp = totals[classes]
+        micro = ValidationRow("all", classes, predicted, actual, tp)
+        lines.append(
+            f"  {'(micro avg)':12s} {classes:>3s} {predicted:5d} "
+            f"{actual:5d} {tp:5d} {fmt(micro.precision):>10s} "
+            f"{fmt(micro.recall):>7s}"
+        )
+    return "\n".join(lines)
+
+
 def format_report(dfg: DFG, report: CriticalityReport) -> str:
     """Human-readable criticality summary (used by examples and docs)."""
     lines = [f"criticality report for {dfg.name!r}:"]

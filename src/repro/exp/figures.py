@@ -116,6 +116,66 @@ def fig_stalls(
     return result
 
 
+def fig_critblame(
+    scale: str = "small",
+    seed: int = 0,
+    workloads=None,
+    arch=None,
+) -> FigureResult:
+    """Supplementary: critical-path blame, NUPEA vs UPEA (stacked bars).
+
+    Runs each workload under Monaco and UPEA2 with the dynamic
+    critical-path profiler (:mod:`repro.obs.critpath`) and reports each
+    coarse category's share of the makespan. The per-row shares sum to
+    1.0 by the profiler's hard invariant (segment costs sum exactly to
+    ``system_cycles``). This figure explains the NUPEA-vs-UPEA speedups
+    *causally*: under UPEA the extra cycles land in
+    ``fmnoc-arbitration`` (the uniform access delay) on the critical
+    recurrences, which is precisely what NUPEA's D0 placement removes.
+    """
+    from dataclasses import replace
+
+    from repro.obs.critpath import ROLLUP_ORDER
+
+    arch = arch or ArchParams()
+    arch = ArchParams(
+        memory=arch.memory,
+        sim=replace(arch.sim, critpath=True),
+        timing=arch.timing,
+        noc_tracks=arch.noc_tracks,
+        noc_model=arch.noc_model,
+    )
+    fabric = monaco(12, 12)
+    configs = [MONACO, upea(2)]
+    result = FigureResult(
+        "fig_critblame",
+        "Critical-path blame attribution, NUPEA vs UPEA "
+        "(share of system cycles per category)",
+        list(ROLLUP_ORDER),
+    )
+    for name in _workload_list(workloads):
+        instance = make_workload(name, scale=scale, seed=seed)
+        compiled = compile_cached(
+            instance, fabric, arch, policy=EFFCC, seed=seed
+        )
+        for config in configs:
+            run = run_config(instance, compiled, config, arch)
+            rollup = run.stats.critpath["rollup"]
+            denom = max(1, run.cycles)
+            result.rows[f"{name}/{config.name}"] = {
+                bucket: rollup[bucket] / denom for bucket in ROLLUP_ORDER
+            }
+            result.raw[f"{name}/{config.name}"] = {
+                "cycles": float(run.cycles)
+            }
+    result.notes.append(
+        "rows sum to 1.0 (profiler invariant: blamed cycles == "
+        "system_cycles); repro critpath <workload> breaks these down "
+        "per load with slack histograms"
+    )
+    return result
+
+
 def fig6c(scale: str = "small", seed: int = 0, arch=None) -> FigureResult:
     """spmspv: NUPEA vs idealized UPEA0 and practical UPEA2 (Fig. 6c)."""
     arch = arch or ArchParams()

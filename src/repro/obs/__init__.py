@@ -19,6 +19,12 @@ memory system and fabric-memory frontends publish structured events to an
 
 from __future__ import annotations
 
+from repro.obs.critpath import (
+    CATEGORIES,
+    ROLLUP,
+    ROLLUP_ORDER,
+    CriticalPathRecorder,
+)
 from repro.obs.events import (
     FIRE,
     STALL_KINDS,
@@ -34,8 +40,12 @@ from repro.obs.sinks import (
 )
 
 __all__ = [
+    "CATEGORIES",
+    "ROLLUP",
+    "ROLLUP_ORDER",
     "FIRE",
     "STALL_KINDS",
+    "CriticalPathRecorder",
     "EventBus",
     "ChromeTraceSink",
     "CycleAttribution",

@@ -55,9 +55,11 @@ _HOOKS = {
     "skip": "on_skip",
     "tick": "on_tick",
     "fire": "on_fire",
+    "fire_pops": "on_fire_pops",
     "mem": "on_mem",
     "mem_service": "on_mem_service",
     "token": "on_token",
+    "push": "on_push",
     "fmnoc": "on_fmnoc",
     "counter": "on_counter",
     "finish": "on_finish",
@@ -102,6 +104,16 @@ class EventBus:
         for handler in self._handlers["fire"]:
             handler(now, node, pe)
 
+    def fire_pops(
+        self, now: int, nid: int, pops, mem: bool, emits: bool
+    ) -> None:
+        """Structural detail of a committed firing: which input port
+        indices were popped, whether a memory request was issued, and
+        whether an output token is pushed this tick (used by the
+        critical-path recorder's last-arrival bookkeeping)."""
+        for handler in self._handlers["fire_pops"]:
+            handler(now, nid, pops, mem, emits)
+
     def mem(self, now: int, record, node, domain) -> None:
         """A memory response reached its PE (full lifecycle known)."""
         for handler in self._handlers["mem"]:
@@ -116,6 +128,15 @@ class EventBus:
         """A token crossed the data NoC from node ``src`` to ``dst``."""
         for handler in self._handlers["token"]:
             handler(now, src, dst)
+
+    def push(
+        self, now: int, src: int, dst: int, index: int, slot: int
+    ) -> None:
+        """A token commit onto consumer FIFO ``(dst, index)``; ``slot``
+        names which of ``src``'s push events this tick produced it (an
+        emission and a firing can both push in one tick)."""
+        for handler in self._handlers["push"]:
+            handler(now, src, dst, index, slot)
 
     def fmnoc(self, now: int, stage: tuple) -> None:
         """A request advanced through FM-NoC ``stage``:

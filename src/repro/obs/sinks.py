@@ -38,8 +38,9 @@ class CycleAttribution:
     does not advance the clock).
     """
 
-    def __init__(self, node_info: dict[int, tuple[str, str, Coord]]):
-        #: nid -> (label, criticality, pe coord).
+    def __init__(self, node_info: dict[int, tuple]):
+        #: nid -> (label, criticality, pe coord[, op]). The op entry was
+        #: appended for the class rollup; absent in older pickles.
         self.node_info = node_info
         self.per_node: dict[int, Counter] = {
             nid: Counter() for nid in node_info
@@ -100,6 +101,47 @@ class CycleAttribution:
             out.setdefault(coord, Counter()).update(counts)
         return out
 
+    def per_class(self) -> dict[str, tuple[int, Counter]]:
+        """Per-node buckets rolled up to criticality classes.
+
+        Memory nodes land in their :mod:`repro.core.criticality` class
+        (``A``/``B``/``C``); everything else is one ``non-mem`` row.
+        Returns ``{row: (node count, bucket Counter)}``.
+        """
+        out: dict[str, tuple[int, Counter]] = {}
+        for nid, counts in self.per_node.items():
+            info = self.node_info[nid]
+            op = info[3] if len(info) > 3 else ""
+            key = info[1] if op in ("load", "store") else "non-mem"
+            nodes, total = out.setdefault(key, (0, Counter()))
+            total.update(counts)
+            out[key] = (nodes + 1, total)
+        return out
+
+    def render_by_class(self) -> str:
+        """The stall taxonomy folded to class A/B/C (+ non-mem) totals."""
+        lines = ["cycle attribution by criticality class (node-cycles):"]
+        rolled = self.per_class()
+        if not rolled or not self.ticks:
+            lines.append("  (no events recorded)")
+            return "\n".join(lines)
+        width = 11
+        lines.append(
+            "  "
+            + "class".ljust(16)
+            + "nodes".rjust(6)
+            + "".join(self.SHORT[kind].rjust(width) for kind in TICK_KINDS)
+        )
+        order = [k for k in ("A", "B", "C", "non-mem") if k in rolled]
+        order += sorted(set(rolled) - set(order))
+        for key in order:
+            nodes, counts = rolled[key]
+            cells = "".join(
+                str(counts[kind]).rjust(width) for kind in TICK_KINDS
+            )
+            lines.append("  " + key.ljust(16) + str(nodes).rjust(6) + cells)
+        return "\n".join(lines)
+
     # -- rendering --------------------------------------------------------
 
     #: Short column headers for :meth:`render`.
@@ -120,6 +162,9 @@ class CycleAttribution:
         """
         width = 11
         lines = ["per-node cycle attribution (system cycles):"]
+        if not self.ticks and not self.divider_gap and not self.skipped:
+            lines.append("  (no events recorded)")
+            return "\n".join(lines)
         lines.append(
             "  "
             + "node".ljust(30)
@@ -137,7 +182,7 @@ class CycleAttribution:
 
         ranked = sorted(self.per_node, key=rank_key)
         for nid in ranked[:top]:
-            label, crit, coord = self.node_info[nid]
+            label, crit = self.node_info[nid][0], self.node_info[nid][1]
             name = f"{nid:4d} [{crit}] {label}"[:30]
             cells = "".join(
                 str(self.per_node[nid][kind]).rjust(width)
@@ -195,6 +240,9 @@ class NocHeatmap:
             f"data-NoC channel traffic heatmap (peak cell = {peak} "
             "channel-tokens; scale . then 1-9 log-bucketed)"
         ]
+        if not peak:
+            lines.append("  (no token traffic recorded)")
+            return "\n".join(lines)
         for y in range(rows):
             row = []
             for x in range(cols):
@@ -354,7 +402,8 @@ class ChromeTraceSink:
             _meta("process_name", 1, 0, {"name": "memory"}),
             _meta("process_name", 2, 0, {"name": "scheduler"}),
         ]
-        for nid, (label, crit, coord) in sorted(self.node_info.items()):
+        for nid, info in sorted(self.node_info.items()):
+            label, crit, coord = info[0], info[1], info[2]
             name = f"n{nid} [{crit}] {label} @{coord[0]},{coord[1]}"
             meta.append(_meta("thread_name", 0, nid, {"name": name}))
             meta.append(
@@ -398,6 +447,9 @@ class Observation(EventBus):
         self.noc_heatmap: NocHeatmap | None = None
         self.fmnoc_heatmap: FmnocHeatmap | None = None
         self.chrome: ChromeTraceSink | None = None
+        #: Dynamic critical-path recorder (see :mod:`repro.obs.critpath`),
+        #: attached when ``ArchParams.sim.critpath`` is on.
+        self.critpath = None
 
 
 def _edge_channel_map(compiled) -> dict[tuple[int, int], tuple]:
@@ -415,13 +467,14 @@ def _edge_channel_map(compiled) -> dict[tuple[int, int], tuple]:
     return out
 
 
-def node_info_of(compiled) -> dict[int, tuple[str, str, Coord]]:
-    """nid -> (label, criticality, placed PE coord) for sink construction."""
+def node_info_of(compiled) -> dict[int, tuple[str, str, Coord, str]]:
+    """nid -> (label, criticality, placed PE coord, op) for sinks."""
     return {
         nid: (
             _node_label(node),
             node.criticality,
             compiled.placement[nid],
+            node.op,
         )
         for nid, node in compiled.dfg.nodes.items()
     }
@@ -433,6 +486,9 @@ def make_observation(
     address_map=None,
     chrome: bool = False,
     counter_every: int = 1,
+    critpath: bool = False,
+    fifo_capacity: int = 2,
+    max_outstanding: int = 2,
 ) -> Observation:
     """Assemble the standard sink set for one run of ``compiled``."""
     obs = Observation()
@@ -449,4 +505,14 @@ def make_observation(
             divider, info, bank_of=bank_of, counter_every=counter_every
         )
         obs.attach(obs.chrome)
+    if critpath:
+        from repro.obs.critpath import CriticalPathRecorder
+
+        obs.critpath = CriticalPathRecorder(
+            compiled,
+            divider,
+            fifo_capacity=fifo_capacity,
+            max_outstanding=max_outstanding,
+        )
+        obs.attach(obs.critpath)
     return obs

@@ -107,7 +107,7 @@ def simulate(
     address_map = AddressMap(dfg.arrays, arch.memory)
     memsys = MemorySystem(arch.memory, address_map, memory)
     frontend = frontend_factory(compiled.fabric, address_map)
-    if obs is None and arch.sim.trace:
+    if obs is None and (arch.sim.trace or arch.sim.critpath):
         from repro.obs import make_observation
 
         obs = make_observation(
@@ -115,6 +115,9 @@ def simulate(
             divider,
             address_map=address_map,
             chrome=arch.sim.trace_path is not None,
+            critpath=arch.sim.critpath,
+            fifo_capacity=arch.sim.fifo_capacity,
+            max_outstanding=arch.sim.max_outstanding,
         )
     if obs is not None:
         memsys.obs = obs
@@ -422,10 +425,16 @@ class _Engine:
             if obs is not None:
                 # Publish token movements at the same point they are
                 # committed; kept out of commit_pushes so its signature
-                # stays a plain (pushes) hook for capacity tests.
+                # stays a plain (pushes) hook for capacity tests. The
+                # per-source slot ordinal disambiguates a node that both
+                # emitted a memory response and fired in this tick.
+                slots: dict[int, int] = {}
                 for nid, _value in pushes:
-                    for consumer, _index in self.consumers[nid]:
+                    slot = slots.get(nid, 0)
+                    slots[nid] = slot + 1
+                    for consumer, index in self.consumers[nid]:
                         obs.token(now, nid, consumer)
+                        obs.push(now, nid, consumer, index, slot)
             if self.check is not None:
                 # Shadow-FIFO stamps mirror the commit (same point, same
                 # order) so capacity and cadence are checked against
@@ -565,6 +574,13 @@ class _Engine:
             if self.obs is not None:
                 self._tick_fired.add(nid)
                 self.obs.fire(now, node, self.compiled.placement[nid])
+                self.obs.fire_pops(
+                    now,
+                    nid,
+                    decision.pops,
+                    decision.mem is not None,
+                    decision.mem is None and decision.emit is not NO_EMIT,
+                )
             progressed = True
             # The node may be ready again next tick; keep it active.
         return progressed

@@ -116,6 +116,13 @@ class SimStats:
     #: Fault injections actually performed (empty when injection is off,
     #: so clean runs stay bit-identical to pre-fault-layer builds).
     faults_injected: dict[str, int] = field(default_factory=dict)
+    #: Critical-path attribution (see :mod:`repro.obs.critpath`): the
+    #: compact report the recorder publishes at finish — category costs
+    #: summing exactly to ``system_cycles``, the coarse rollup, and the
+    #: top critical loads. Empty when profiling is off; excluded from
+    #: equality so profiled and unprofiled runs of the same point still
+    #: compare bit-identical (the ``executed_cycles`` pattern).
+    critpath: dict = field(default_factory=dict, compare=False)
 
     @property
     def fabric_cycles(self) -> int:
@@ -178,6 +185,24 @@ class SimStats:
         )
         if dom:
             parts.append(f"by domain [{dom}]")
+        if self.critpath:
+            denom = max(1, self.critpath.get("system_cycles", 1))
+            rollup = self.critpath.get("rollup", {})
+            buckets = ", ".join(
+                f"{name} {cycles / denom:.0%}"
+                for name, cycles in sorted(
+                    rollup.items(), key=lambda kv: -kv[1]
+                )[:3]
+                if cycles
+            )
+            if buckets:
+                parts.append(f"critical path [{buckets}]")
+            loads = ", ".join(
+                f"n{e['nid']} [{e['class']}] {e['criticality']:.0%}"
+                for e in self.critpath.get("top_loads", ())[:3]
+            )
+            if loads:
+                parts.append(f"top critical loads [{loads}]")
         return "; ".join(parts)
 
     def to_dict(self) -> dict:
@@ -219,4 +244,5 @@ class SimStats:
                 if self.faults_injected
                 else {}
             ),
+            **({"critpath": self.critpath} if self.critpath else {}),
         }
