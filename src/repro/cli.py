@@ -140,6 +140,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="use the full-recompute anneal and full-reroute PathFinder "
         "(results are bit-identical either way; this is the A/B knob)",
     )
+    p_run.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="CYCLES",
+        help="snapshot the simulation every N system cycles (and on "
+        "SIGTERM/SIGINT); resumable with --resume-from "
+        "(see repro.sim.snapshot)",
+    )
+    p_run.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="snapshot file path (default: <workload>.snap when "
+        "--checkpoint-every is set)",
+    )
+    p_run.add_argument(
+        "--resume-from", default=None, metavar="PATH",
+        help="continue a preempted simulation from this snapshot "
+        "(bit-identical to an uninterrupted run); an invalid or "
+        "mismatched snapshot is refused",
+    )
 
     def add_sim_args(p):
         p.add_argument("workload", choices=sorted(ALL_WORKLOADS))
@@ -301,6 +318,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--backoff", type=float, default=0.0, metavar="SECONDS",
         help="base for exponential backoff between retries (default 0)",
     )
+    p_sweep.add_argument(
+        "--snapshot-dir", default=None, metavar="DIR",
+        help="arm mid-simulation checkpointing: jobs snapshot to "
+        "DIR/<point_digest>.snap, a SIGTERMed or timed-out job "
+        "snapshots during its grace period, and a retried or --resume'd "
+        "point continues from its snapshot instead of cycle 0",
+    )
+    p_sweep.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="CYCLES",
+        help="periodic snapshot cadence per job in system cycles "
+        "(default 0 = snapshot only on preemption; implies a default "
+        "--snapshot-dir of 'snapshots' when none is given)",
+    )
+    p_sweep.add_argument(
+        "--grace", type=float, default=5.0, metavar="SECONDS",
+        help="seconds a timed-out job may spend writing its snapshot "
+        "before the hard kill (default 5)",
+    )
     fault_group = p_sweep.add_argument_group(
         "fault injection",
         "deterministic fault injection (repro.sim.faults); all default "
@@ -420,9 +455,16 @@ def cmd_run(args) -> int:
     from repro.arch.params import SimParams
 
     instance = make_workload(args.workload, scale=args.scale, seed=args.seed)
+    checkpoint_path = args.checkpoint
+    if checkpoint_path is None and args.checkpoint_every:
+        checkpoint_path = f"{args.workload}.snap"
     arch = ArchParams(
         noc_tracks=args.tracks,
-        sim=SimParams(cycle_skip=not args.no_cycle_skip),
+        sim=SimParams(
+            cycle_skip=not args.no_cycle_skip,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=args.checkpoint_every,
+        ),
     )
     fabric = build_fabric(args.topology, args.rows, args.cols)
     policy = get_policy(args.policy)
@@ -451,7 +493,26 @@ def cmd_run(args) -> int:
         print(placement_map(compiled))
     config = _config_for(args.config)
     divider = max(PAPER_DIVIDER, compiled.timing.clock_divider)
-    run = run_config(instance, compiled, config, arch, divider=divider)
+    from repro.errors import SimulationPreempted
+
+    try:
+        run = run_config(
+            instance, compiled, config, arch, divider=divider,
+            resume_from=args.resume_from,
+        )
+    except SimulationPreempted as exc:
+        # Exit 75 (EX_TEMPFAIL): the run was preempted but left a
+        # resumable snapshot — rerun with --resume-from to continue.
+        print(f"preempted at cycle {exc.cycle}: snapshot written to "
+              f"{exc.snapshot_path}")
+        print(f"resume with: repro run {args.workload} --scale {args.scale} "
+              f"--config {args.config} --resume-from {exc.snapshot_path}")
+        return 75
+    if run.resume_info is not None:
+        print(
+            f"resumed from {run.resume_info['snapshot']} at cycle "
+            f"{run.resume_info['from_cycle']}"
+        )
     print(
         f"{args.workload} on {config.name}: {run.cycles} system cycles "
         f"(output verified)"
@@ -672,11 +733,16 @@ def cmd_sweep(args) -> int:
     if faults is not None:
         arch = replace(arch, sim=replace(arch.sim, faults=faults))
         print(f"fault injection on: {faults.signature()}")
+    snapshot_dir = args.snapshot_dir
+    if snapshot_dir is None and args.checkpoint_every:
+        snapshot_dir = "snapshots"
     sweep_policy = SweepPolicy(
         job_timeout_s=args.timeout,
         max_retries=args.retries,
         backoff_s=args.backoff,
         on_failure=args.on_failure,
+        checkpoint_every=args.checkpoint_every,
+        grace_s=args.grace,
     )
     outcome = run_resilient(
         args.workloads,
@@ -689,13 +755,19 @@ def cmd_sweep(args) -> int:
         manifest_path=args.manifest,
         sweep_policy=sweep_policy,
         resume=args.resume,
+        snapshot_dir=snapshot_dir,
     )
     results = outcome.results
     width = max(len(w) for w in args.workloads)
     for (workload, config, seed), run in sorted(results.items()):
+        resumed = (
+            f" [resumed from cycle {run.resume_info['from_cycle']}]"
+            if run.resume_info
+            else ""
+        )
         print(
             f"{workload:{width}s} {config:12s} seed={seed} "
-            f"{run.cycles:>10d} cycles (output verified)"
+            f"{run.cycles:>10d} cycles (output verified){resumed}"
         )
     if outcome.skipped:
         print(

@@ -78,3 +78,58 @@ class ValidationError(ReproError):
 
 class JobTimeout(ReproError):
     """A supervised sweep job exceeded its per-job wall-clock budget."""
+
+
+class SnapshotError(ReproError):
+    """A simulation snapshot could not be written, read, or resumed.
+
+    Covers torn files (a crash between write and rename), checksum or
+    version mismatches, a config digest that does not match the resuming
+    run, and double-resume of a single-use snapshot. Deliberately *not* a
+    :class:`SimulationError`: a bad snapshot says nothing about the
+    simulated machine, and the sweep supervisor must never classify it
+    as a deterministic simulation failure.
+    """
+
+
+class SimulationPreempted(ReproError):
+    """A run was preempted cooperatively after writing a snapshot.
+
+    Raised by the engine's checkpoint boundary when a watchdog requested
+    preemption (SIGTERM/SIGINT, wall-clock budget, cycle budget). The
+    snapshot named by :attr:`snapshot_path` holds the complete machine
+    state at :attr:`cycle`; resuming from it continues bit-identically.
+    Not a :class:`SimulationError` — preemption is scheduling, not a
+    property of the simulated machine — so the sweep supervisor may
+    retry it (and the retry resumes from the snapshot).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        kind: str = "preempted",
+        snapshot_path: str | None = None,
+        cycle: int | None = None,
+    ):
+        super().__init__(message)
+        #: Supervisor taxonomy bucket: ``"preempted"`` (signal / cycle
+        #: budget) or ``"timeout"`` (the grace path of a job timeout).
+        self.kind = kind
+        self.snapshot_path = snapshot_path
+        self.cycle = cycle
+
+    def __reduce__(self):
+        # Keyword-only attributes are not captured by ``self.args``, so
+        # the default exception reduce would drop them when a process
+        # pool pickles the exception back to the supervisor.
+        return (
+            _rebuild_preempted,
+            (str(self), self.kind, self.snapshot_path, self.cycle),
+        )
+
+
+def _rebuild_preempted(message, kind, snapshot_path, cycle):
+    return SimulationPreempted(
+        message, kind=kind, snapshot_path=snapshot_path, cycle=cycle
+    )

@@ -31,6 +31,7 @@ scheduler:
 
 from __future__ import annotations
 
+import os
 import signal
 import threading
 import time
@@ -50,6 +51,7 @@ from repro.errors import (
     ReproError,
     RoutingError,
     SimulationError,
+    SimulationPreempted,
     ValidationError,
 )
 from repro.obs.manifest import (
@@ -79,6 +81,10 @@ DETERMINISTIC_KINDS = ("validation", "deadlock", "simulation")
 
 def classify_failure(exc: BaseException) -> str:
     """Map an exception to the supervisor's failure taxonomy."""
+    if isinstance(exc, SimulationPreempted):
+        # Deliberately NOT a SimulationError: a preempted job is
+        # retryable (it left a snapshot), never a deterministic bug.
+        return exc.kind
     if isinstance(exc, JobTimeout):
         return "timeout"
     if isinstance(exc, ValidationError):
@@ -100,7 +106,8 @@ def classify_failure(exc: BaseException) -> str:
     return "infrastructure"
 
 
-def call_with_timeout(timeout_s, thunk, label: str = ""):
+def call_with_timeout(timeout_s, thunk, label: str = "", watchdog=None,
+                      grace_s: float = 5.0):
     """Run ``thunk`` under a wall-clock budget; raise :class:`JobTimeout`.
 
     Uses ``SIGALRM``/``setitimer``, so it interrupts pure-Python
@@ -108,6 +115,14 @@ def call_with_timeout(timeout_s, thunk, label: str = ""):
     in the worker's main thread, after the job was dequeued). On
     platforms without ``SIGALRM`` — or off the main thread — the budget
     is silently not enforced.
+
+    ``watchdog`` (a :class:`repro.sim.snapshot.Watchdog`) switches
+    expiry to a two-stage graceful kill: the first alarm only *requests*
+    cooperative preemption — the simulator snapshots its state and
+    raises :class:`~repro.errors.SimulationPreempted` at the next cycle
+    boundary — and the timer is re-armed for ``grace_s``; only if the
+    job is still running when the grace period expires (hung outside
+    the engine loop) does the hard :class:`JobTimeout` fire.
     """
     if not timeout_s:
         return thunk()
@@ -117,7 +132,18 @@ def call_with_timeout(timeout_s, thunk, label: str = ""):
     ):
         return thunk()
 
+    graced = False
+
     def _alarm(signum, frame):
+        nonlocal graced
+        if watchdog is not None and not graced:
+            graced = True
+            watchdog.request(
+                f"job {label or '<anonymous>'} exceeded {timeout_s}s",
+                kind="timeout",
+            )
+            signal.setitimer(signal.ITIMER_REAL, max(grace_s, 0.001))
+            return
         raise JobTimeout(f"job {label or '<anonymous>'} exceeded {timeout_s}s")
 
     previous = signal.signal(signal.SIGALRM, _alarm)
@@ -155,7 +181,19 @@ class SweepPolicy:
         "pnr",
         "timeout",
         "worker-death",
+        "preempted",
     )
+    #: Periodic snapshot cadence in system cycles, per job (0 = only on
+    #: preemption). Effective only when the sweep runs with a
+    #: ``snapshot_dir``.
+    checkpoint_every: int = 0
+    #: Cycles each *attempt* may execute before snapshotting and yielding
+    #: (None = unlimited). Counts per process, so a resumed attempt
+    #: always advances past its predecessor.
+    job_cycle_budget: int | None = None
+    #: Seconds a timed-out job gets to snapshot cooperatively before the
+    #: hard :class:`~repro.errors.JobTimeout` fires.
+    grace_s: float = 5.0
 
     def __post_init__(self):
         if self.on_failure not in ("abort", "skip", "retry"):
@@ -166,6 +204,12 @@ class SweepPolicy:
             raise ExperimentError("max_retries must be >= 0")
         if self.job_timeout_s is not None and self.job_timeout_s <= 0:
             raise ExperimentError("job_timeout_s must be positive")
+        if self.checkpoint_every < 0:
+            raise ExperimentError("checkpoint_every must be >= 0")
+        if self.job_cycle_budget is not None and self.job_cycle_budget < 0:
+            raise ExperimentError("job_cycle_budget must be >= 0")
+        if self.grace_s <= 0:
+            raise ExperimentError("grace_s must be positive")
 
     def wants_retry(self, kind: str, attempts: int) -> bool:
         return (
@@ -295,6 +339,7 @@ def run_resilient(
     manifest_path=None,
     sweep_policy: SweepPolicy | None = None,
     resume: bool = False,
+    snapshot_dir=None,
     job_fn=None,
 ) -> SweepOutcome:
     """Supervised (workload x config x seed) sweep.
@@ -310,6 +355,16 @@ def run_resilient(
     journal proves complete (see
     :func:`repro.obs.manifest.completed_points` for the digest
     validation that keeps a stale journal from poisoning the run).
+
+    ``snapshot_dir`` arms mid-simulation checkpointing
+    (:mod:`repro.sim.snapshot`): each job periodically snapshots to
+    ``<snapshot_dir>/<point_digest>.snap`` per the policy's
+    ``checkpoint_every``/``job_cycle_budget``, a timed-out or SIGTERMed
+    job snapshots during its grace period instead of dying cold, and a
+    retried (or ``resume=True``-rerun) point *continues from its last
+    valid snapshot* rather than from cycle 0. Torn or configuration-
+    mismatched snapshots are detected, discarded and the point restarts
+    fresh — never wedging the retry loop.
 
     ``job_fn`` is a test seam: a picklable callable with
     :func:`repro.exp.runner._run_sweep_job`'s signature.
@@ -328,6 +383,9 @@ def run_resilient(
     job_fn = job_fn or _run_sweep_job
     cache_str = str(cache_dir) if cache_dir is not None else None
     faults_sig = _fault_signature(arch)
+    snapshot_str = str(snapshot_dir) if snapshot_dir is not None else None
+    if snapshot_str is not None:
+        os.makedirs(snapshot_str, exist_ok=True)
 
     jobs = [
         _Job(name, config, seed)
@@ -364,7 +422,7 @@ def run_resilient(
         jobs = remaining
 
     def job_args(job: _Job) -> tuple:
-        return (
+        args = [
             job.name,
             job.config,
             scale,
@@ -376,7 +434,24 @@ def run_resilient(
             cache_str,
             job.pnr_seed,
             sweep_policy.job_timeout_s,
-        )
+        ]
+        if snapshot_str is not None:
+            # Appended only when snapshotting is armed, so job_fn doubles
+            # with the historical 11-argument signature keep working.
+            args.append(
+                {
+                    "dir": snapshot_str,
+                    "every": sweep_policy.checkpoint_every,
+                    "cycle_budget": sweep_policy.job_cycle_budget,
+                    "grace_s": sweep_policy.grace_s,
+                    "journal": (
+                        str(manifest_path)
+                        if manifest_path is not None
+                        else None
+                    ),
+                }
+            )
+        return tuple(args)
 
     def emit_success(job: _Job, run) -> None:
         outcome.results[job.key] = run

@@ -76,6 +76,16 @@ class RunResult:
     #: equality like ``wall_time``; None when the compile predates the
     #: stats (old cache entries).
     pnr: object = field(default=None, compare=False, repr=False)
+    #: ``{"from_cycle", "executed_before", "snapshot", "restore_wall_s"}``
+    #: when this run continued from a mid-simulation snapshot (see
+    #: :mod:`repro.sim.snapshot`); None for fresh runs. Excluded from
+    #: equality — a resumed run is bit-identical to an uninterrupted one.
+    resume_info: dict | None = field(default=None, compare=False)
+    #: Checkpointer write telemetry, or None when checkpointing was off.
+    #: Wall-clock data, excluded from equality like ``wall_time``.
+    snapshot_stats: dict | None = field(
+        default=None, compare=False, repr=False
+    )
 
 
 def compile_cached(
@@ -126,8 +136,15 @@ def run_config(
     arch: ArchParams,
     divider: int = PAPER_DIVIDER,
     obs=None,
+    checkpoint=None,
+    resume_from=None,
+    resume_policy: str = "strict",
 ) -> RunResult:
-    """Simulate one (compiled workload, machine config) pair and validate."""
+    """Simulate one (compiled workload, machine config) pair and validate.
+
+    ``checkpoint``/``resume_from``/``resume_policy`` pass through to
+    :func:`repro.sim.engine.simulate` (see :mod:`repro.sim.snapshot`).
+    """
     start = time.perf_counter()
     result = simulate(
         compiled,
@@ -137,6 +154,9 @@ def run_config(
         frontend_factory=config.frontend_factory(divider),
         divider=divider,
         obs=obs,
+        checkpoint=checkpoint,
+        resume_from=resume_from,
+        resume_policy=resume_policy,
     )
     wall = time.perf_counter() - start
     instance.check(result.memory)
@@ -149,6 +169,8 @@ def run_config(
         wall_time=wall,
         obs=result.obs,
         pnr=compiled.pnr,
+        resume_info=result.resume_info,
+        snapshot_stats=result.snapshot_stats,
     )
 
 
@@ -291,6 +313,7 @@ def _run_sweep_job(
     cache_dir: str | None,
     pnr_seed: int | None = None,
     timeout_s: float | None = None,
+    snapshot: dict | None = None,
 ) -> RunResult:
     """One (workload, config, seed) point; runs inside a worker process.
 
@@ -299,6 +322,14 @@ def _run_sweep_job(
     is always ``seed``. ``timeout_s`` arms a ``SIGALRM`` wall-clock
     budget around compile+simulate (see
     :func:`repro.exp.resilient.call_with_timeout`).
+
+    ``snapshot`` (``{"dir", "every", "cycle_budget", "grace_s",
+    "journal"}``, supplied by the supervisor when a ``snapshot_dir`` is
+    set) arms mid-simulation checkpointing: the snapshot path is derived
+    from the point's identity digest, any valid snapshot already there
+    is resumed (invalid ones are discarded), SIGTERM/SIGINT and timeout
+    expiry snapshot-then-raise instead of killing the attempt cold, and
+    snapshot writes are journaled to the sweep manifest.
     """
     from repro.exp.resilient import call_with_timeout
 
@@ -311,6 +342,14 @@ def _run_sweep_job(
         # cache directory.
         GLOBAL_CACHE.enable_disk(cache_dir)
 
+    watchdog = None
+    grace_s = 5.0
+    if snapshot is not None:
+        from repro.sim.snapshot import Watchdog
+
+        watchdog = Watchdog()
+        grace_s = snapshot.get("grace_s", 5.0)
+
     def job() -> RunResult:
         policy = get_policy(policy_name)
         fabric = build_fabric(*fabric_spec)
@@ -322,12 +361,56 @@ def _run_sweep_job(
             policy=policy,
             seed=seed if pnr_seed is None else pnr_seed,
         )
-        run = run_config(instance, compiled, config, arch, divider)
+        checkpoint = resume_from = None
+        resume_policy = "strict"
+        if snapshot is not None:
+            from repro.obs.manifest import config_digest, point_fields
+            from repro.sim.snapshot import CheckpointConfig
+
+            identity = point_fields(
+                workload=name,
+                config=config.name,
+                scale=scale,
+                seed=seed,
+                divider=divider,
+                fabric=fabric_spec,
+                policy=policy_name,
+                faults=_fault_signature(arch),
+            )
+            digest = config_digest(identity)
+            path = os.path.join(snapshot["dir"], f"{digest}.snap")
+            checkpoint = CheckpointConfig(
+                path=path,
+                every_cycles=snapshot.get("every", 0) or 0,
+                cycle_budget=snapshot.get("cycle_budget"),
+                install_signals=True,
+                watchdog=watchdog,
+                journal_path=snapshot.get("journal"),
+                journal_fields={"point_digest": digest, **identity},
+            )
+            # A retried attempt continues from its predecessor's
+            # snapshot; torn/stale files are discarded, never fatal.
+            resume_from = path
+            resume_policy = "discard"
+        run = run_config(
+            instance,
+            compiled,
+            config,
+            arch,
+            divider,
+            checkpoint=checkpoint,
+            resume_from=resume_from,
+            resume_policy=resume_policy,
+        )
         run.pnr_seed = pnr_seed
         return run
 
     return call_with_timeout(
-        timeout_s, job, label=f"{name}/{config.name}/seed{seed}"
+        timeout_s,
+        job,
+        label=f"{name}/{config.name}/seed{seed}",
+        watchdog=watchdog,
+        grace_s=grace_s,
     )
 
 
@@ -345,6 +428,7 @@ def run_parallel(
     manifest_path: str | os.PathLike | None = None,
     sweep_policy=None,
     resume: bool = False,
+    snapshot_dir: str | os.PathLike | None = None,
 ) -> dict[tuple[str, str, int], RunResult]:
     """Fan (workload x config x seed) out over worker processes.
 
@@ -388,5 +472,6 @@ def run_parallel(
         manifest_path=manifest_path,
         sweep_policy=sweep_policy,
         resume=resume,
+        snapshot_dir=snapshot_dir,
     )
     return outcome.results

@@ -36,7 +36,11 @@ MANIFEST_SCHEMA = 2
 #: Keys that legitimately differ between two runs of the same point.
 #: ``pnr`` is compile-time telemetry (moves/s, per-phase wall times) —
 #: informative in the record, but never part of the stable view.
-VOLATILE_KEYS = ("wall_time_s", "timestamp", "git_rev", "pnr")
+#: ``resume`` records how a preempted point was continued from its
+#: snapshot (see :mod:`repro.sim.snapshot`); the resumed run's results
+#: are bit-identical to an uninterrupted one, so the stable views of a
+#: clean and a resumed manifest must compare equal.
+VOLATILE_KEYS = ("wall_time_s", "timestamp", "git_rev", "pnr", "resume")
 
 
 @functools.lru_cache(maxsize=1)
@@ -140,6 +144,12 @@ def build_manifest(
     pnr = getattr(run, "pnr", None)
     if pnr is not None:
         record["pnr"] = pnr.to_dict()
+    resume_info = getattr(run, "resume_info", None)
+    if resume_info is not None:
+        # The point was continued from a mid-simulation snapshot; the
+        # stats above are still bit-identical to an uninterrupted run
+        # (``resume`` is volatile, see VOLATILE_KEYS).
+        record["resume"] = dict(resume_info)
     if extra:
         record.update(extra)
     return record

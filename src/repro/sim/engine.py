@@ -59,6 +59,13 @@ class SimResult:
         #: The :class:`repro.obs.Observation` the run published into, or
         #: None when tracing was off.
         self.obs = obs
+        #: ``{"from_cycle", "executed_before", "snapshot",
+        #: "restore_wall_s"}`` when this run resumed from a snapshot
+        #: (see :mod:`repro.sim.snapshot`); None for fresh runs.
+        self.resume_info = None
+        #: Checkpointer telemetry (write count/latency), or None when
+        #: checkpointing was off.
+        self.snapshot_stats = None
 
 
 def default_frontend(fabric, address_map):
@@ -73,6 +80,9 @@ def simulate(
     frontend_factory=default_frontend,
     divider: int | None = None,
     obs=None,
+    checkpoint=None,
+    resume_from=None,
+    resume_policy: str = "strict",
 ) -> SimResult:
     """Run ``compiled`` to quiescence and return memory + stats.
 
@@ -81,6 +91,18 @@ def simulate(
     ``arch.sim.trace`` is set, the standard sink set
     (:func:`repro.obs.make_observation`) is assembled automatically;
     with tracing off nothing is published and results are bit-identical.
+
+    ``checkpoint`` is an optional
+    :class:`repro.sim.snapshot.CheckpointConfig` arming mid-run
+    snapshots; when None it is assembled from ``arch.sim``'s
+    ``checkpoint_path``/``checkpoint_every`` knobs (with signal handlers
+    installed for the run). ``resume_from`` names a snapshot file to
+    continue from — under ``resume_policy="strict"`` an invalid snapshot
+    raises :class:`~repro.errors.SnapshotError`; under ``"discard"`` it
+    is deleted and the run starts fresh from cycle 0. A resumed run is
+    bit-identical to the uninterrupted one; a preempted run raises
+    :class:`~repro.errors.SimulationPreempted` after writing a final
+    snapshot.
     """
     arch = arch or ArchParams()
     params = dict(params or {})
@@ -136,14 +158,75 @@ def simulate(
         compiled, params, arch, divider, memsys, frontend, address_map,
         obs=obs, faults=injector, check=checker,
     )
-    stats = engine.run()
+
+    resume_info = None
+    snapshots = None
+    watchdog = None
+    if checkpoint is None and (
+        arch.sim.checkpoint_path or arch.sim.checkpoint_every
+    ):
+        from repro.sim.snapshot import CheckpointConfig
+
+        checkpoint = CheckpointConfig(
+            path=arch.sim.checkpoint_path or f"{dfg.name}.snap",
+            every_cycles=arch.sim.checkpoint_every,
+            install_signals=True,
+        )
+    if checkpoint is not None or resume_from is not None:
+        import time as _time
+
+        from repro.sim.snapshot import (
+            Checkpointer,
+            Snapshot,
+            resolve_resume,
+            sim_config_digest,
+        )
+
+        digest = sim_config_digest(compiled, arch, divider, frontend, params)
+        if resume_from is not None:
+            restore_start = _time.perf_counter()
+            snap = (
+                resume_from
+                if isinstance(resume_from, Snapshot)
+                else resolve_resume(resume_from, digest, policy=resume_policy)
+            )
+            if snap is not None:
+                snap.install(engine)
+                resume_info = {
+                    "from_cycle": engine.now,
+                    "executed_before": engine.stats.executed_cycles,
+                    "snapshot": snap.path,
+                    "restore_wall_s": round(
+                        _time.perf_counter() - restore_start, 6
+                    ),
+                }
+        if checkpoint is not None:
+            snapshots = Checkpointer(checkpoint, digest)
+            engine.snapshots = snapshots
+            if checkpoint.install_signals and snapshots.watchdog is not None:
+                watchdog = snapshots.watchdog
+                watchdog.install()
+    try:
+        stats = engine.run()
+    finally:
+        if watchdog is not None:
+            watchdog.uninstall()
+    if snapshots is not None:
+        # Only a *clean* completion retires the snapshot file; a
+        # preempted run leaves it behind for the retry to resume from.
+        snapshots.finish()
+    obs = engine.obs  # a restore swaps in the snapshot's sink set
     stats.frontend = getattr(frontend, "name", type(frontend).__name__)
     if obs is not None:
         obs.finish(stats)
         chrome = getattr(obs, "chrome", None)
         if chrome is not None and arch.sim.trace_path:
             chrome.write(arch.sim.trace_path)
-    return SimResult(memory, stats, obs=obs)
+    result = SimResult(memory, stats, obs=obs)
+    result.resume_info = resume_info
+    if snapshots is not None:
+        result.snapshot_stats = snapshots.telemetry()
+    return result
 
 
 class _Engine:
@@ -210,6 +293,13 @@ class _Engine:
         #: Per-tick scratch for attribution (None while tracing is off).
         self._tick_fired: set[int] | None = None
         self._tick_fifo_full: set[int] | None = None
+        #: Current system cycle and last-progress cycle — instance state
+        #: (not ``run()`` locals) so snapshots capture the scheduler.
+        self.now = 0
+        self.last_event = 0
+        #: Checkpointer (:mod:`repro.sim.snapshot`), or None (off — the
+        #: same zero-overhead contract: ``run`` polls one attribute).
+        self.snapshots = None
 
     def _init_edge_hops(self) -> None:
         from repro.pnr.netlist import build_netlist
@@ -270,12 +360,16 @@ class _Engine:
     # -- main loop ---------------------------------------------------------
 
     def run(self) -> SimStats:
-        now = 0
-        last_event = 0
         max_cycles = self.arch.sim.max_cycles
         deadlock_after = self.arch.sim.deadlock_cycles
         cycle_skip = self.arch.sim.cycle_skip
         while True:
+            if self.snapshots is not None:
+                # Cycle boundary: pending_pushes is empty and the
+                # executed/skipped ledger is closed — the only points
+                # where the machine may be snapshotted or preempted.
+                self.snapshots.boundary(self)
+            now = self.now
             self.stats.executed_cycles += 1
             progressed = False
             self.memsys.tick(now)
@@ -312,17 +406,17 @@ class _Engine:
             elif self.obs is not None:
                 self.obs.gap(now)
             if progressed:
-                last_event = now
+                self.last_event = now
             if self._finished(now):
                 break
-            if now - last_event > deadlock_after:
+            if now - self.last_event > deadlock_after:
                 self._raise_deadlock(now)
             if now > max_cycles:
                 raise SimulationError("simulation exceeded max_cycles")
             now += 1
             if cycle_skip:
                 target = self._skip_target(
-                    now, last_event, deadlock_after, max_cycles
+                    now, self.last_event, deadlock_after, max_cycles
                 )
                 if target > now:
                     if self.obs is not None:
@@ -332,6 +426,7 @@ class _Engine:
                         self.obs.skip(now, target)
                     self.stats.skipped_cycles += target - now
                     now = target
+            self.now = now
         self.stats.system_cycles = now
         self.stats.mem = self.memsys.stats
         if self.faults is not None:
@@ -602,6 +697,99 @@ class _Engine:
         self.resp_queue[nid].append(record)
         self.mem_inflight += 1
         self.frontend.inject(record, now)
+
+    # -- snapshots ---------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Complete mutable machine state at a cycle boundary.
+
+        Containers are shallow-copied (the snapshot layer serializes the
+        returned dict immediately, in one ``pickle.dumps`` whose memo
+        preserves ``RequestRecord`` aliasing across ``resp_queue``, the
+        arrivals heap, bank queues and frontend latches). The ``obs``
+        and ``check`` entries are the live objects themselves: they are
+        closures over nothing but plain data, so they pickle wholesale.
+        """
+        return {
+            "now": self.now,
+            "last_event": self.last_event,
+            "fifos": {
+                key: list(queue) for key, queue in self.fifos.queues.items()
+            },
+            "states": {
+                nid: dict(state) for nid, state in self.states.items()
+            },
+            "resp_queue": {
+                nid: list(queue) for nid, queue in self.resp_queue.items()
+            },
+            "arrivals": list(self.arrivals),
+            "arrival_order": self._arrival_order,
+            "seq": self._seq,
+            "tokens": self.tokens,
+            "mem_inflight": self.mem_inflight,
+            "active": set(self.active),
+            "emit_candidates": set(self.emit_candidates),
+            "stats": self.stats.state_dict(),
+            "memsys": self.memsys.state_dict(),
+            "frontend": self.frontend.state_dict(),
+            "faults": (
+                self.faults.state_dict() if self.faults is not None else None
+            ),
+            "obs": self.obs,
+            "check": self.check,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` in place (resume path).
+
+        Structural containers (FIFO dict, resp queues, memory arrays)
+        are refilled rather than replaced, preserving the identities the
+        constructor wired up; the ``obs``/``check`` objects from the
+        snapshot *replace* the freshly-built ones — their accumulated
+        history is part of the machine state — and the aliases on the
+        memory system and frontend are re-pointed accordingly.
+        """
+        for side, present in (
+            ("faults", state["faults"] is not None),
+            ("obs", state["obs"] is not None),
+            ("check", state["check"] is not None),
+        ):
+            if present != (getattr(self, side) is not None):
+                raise SimulationError(
+                    f"snapshot has {side} {'on' if present else 'off'}, "
+                    "this run has it configured the other way"
+                )
+        self.now = state["now"]
+        self.last_event = state["last_event"]
+        for key, items in state["fifos"].items():
+            queue = self.fifos.queues[key]
+            queue.clear()
+            queue.extend(items)
+        for nid, node_state in state["states"].items():
+            self.states[nid] = dict(node_state)
+        for nid, items in state["resp_queue"].items():
+            queue = self.resp_queue[nid]
+            queue.clear()
+            queue.extend(items)
+        self.arrivals = list(state["arrivals"])
+        self._arrival_order = state["arrival_order"]
+        self._seq = state["seq"]
+        self.tokens = state["tokens"]
+        self.mem_inflight = state["mem_inflight"]
+        self.active = set(state["active"])
+        self.emit_candidates = set(state["emit_candidates"])
+        self.pending_pushes.clear()
+        self.stats.load_state_dict(state["stats"])
+        self.memsys.load_state_dict(state["memsys"])
+        self.frontend.load_state_dict(state["frontend"])
+        if state["faults"] is not None:
+            self.faults.load_state_dict(state["faults"])
+        if state["obs"] is not None:
+            self.obs = state["obs"]
+            self.memsys.obs = self.obs
+            self.frontend.obs = self.obs
+        if state["check"] is not None:
+            self.check = state["check"]
 
     # -- diagnostics ---------------------------------------------------
 

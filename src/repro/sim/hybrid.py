@@ -77,6 +77,31 @@ class HybridFrontend(MonacoFrontend):
     def busy(self) -> bool:
         return bool(self._stage) or super().busy()
 
+    # -- snapshots ---------------------------------------------------------
+
+    def signature(self) -> str:
+        """Pins the spatial region layout on top of the Monaco topology
+        (``row_region`` is a pure function of these three parameters)."""
+        return (
+            f"monaco-numa:{self.fabric.rows}x{self.fabric.cols}"
+            f":regions={self.n_regions}:remote={self.remote_cycles}"
+        )
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["stage"] = list(self._stage)
+        state["stage_order"] = self._order
+        state["local_accesses"] = self.local_accesses
+        state["remote_accesses"] = self.remote_accesses
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self._stage = list(state["stage"])
+        self._order = state["stage_order"]
+        self.local_accesses = state["local_accesses"]
+        self.remote_accesses = state["remote_accesses"]
+
     def next_event(self, now: int) -> int | None:
         """Cycle-skip hint: the arbiter hierarchy moves every cycle while
         occupied; otherwise the next staged NUMA crossing matters."""

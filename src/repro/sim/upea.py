@@ -15,6 +15,7 @@
 
 from __future__ import annotations
 
+import hashlib
 import heapq
 import random
 
@@ -72,6 +73,21 @@ class UniformFrontend:
             return None
         return max(now, self._pipe[0][0])
 
+    # -- snapshots ---------------------------------------------------------
+
+    def signature(self) -> str:
+        """Stable identity string for the snapshot config digest (the
+        delay is set by the machine config, not by ``ArchParams``, so it
+        must be pinned here)."""
+        return f"upea:delay={self.delay}"
+
+    def state_dict(self) -> dict:
+        return {"pipe": list(self._pipe), "order": self._order}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._pipe = list(state["pipe"])
+        self._order = state["order"]
+
 
 class NumaFrontend(UniformFrontend):
     """UPEA with NUMA domains: local accesses skip the uniform delay."""
@@ -116,3 +132,28 @@ class NumaFrontend(UniformFrontend):
             self.obs.counter(
                 "numa-local" if local else "numa-remote"
             )
+
+    # -- snapshots ---------------------------------------------------------
+
+    def signature(self) -> str:
+        """Pins the domain count *and* the concrete PE->domain draw (two
+        runs with different seeds route differently, so their snapshots
+        must not be interchangeable)."""
+        assignment = hashlib.sha256(
+            repr(sorted(self.pe_domain.items())).encode()
+        ).hexdigest()[:12]
+        return (
+            f"numa-upea:delay={self.delay}:domains={self.n_domains}"
+            f":assign={assignment}"
+        )
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["local_accesses"] = self.local_accesses
+        state["remote_accesses"] = self.remote_accesses
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.local_accesses = state["local_accesses"]
+        self.remote_accesses = state["remote_accesses"]
