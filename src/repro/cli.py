@@ -522,10 +522,17 @@ def cmd_run(args) -> int:
         print("energy:", estimate_energy(run.stats).summary())
     if args.stats_json:
         with open(args.stats_json, "w", encoding="utf-8") as fh:
-            json.dump(run.stats.to_dict(), fh, indent=2, sort_keys=True)
+            json.dump(_stats_payload(run.stats), fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"stats JSON written to {args.stats_json}")
     return 0
+
+
+def _stats_payload(stats) -> dict:
+    """``--stats-json`` payload: the full stats dict plus the energy
+    breakdown (deterministic from stable counters, so machine consumers
+    get the Sec. 1 headline metric without re-pricing the run)."""
+    return {**stats.to_dict(), "energy": estimate_energy(stats).to_dict()}
 
 
 def _traced_run(args, trace_path=None):
@@ -672,7 +679,7 @@ def cmd_profile(args) -> int:
     print(obs.fmnoc_heatmap.render())
     if args.stats_json:
         with open(args.stats_json, "w", encoding="utf-8") as fh:
-            json.dump(run.stats.to_dict(), fh, indent=2, sort_keys=True)
+            json.dump(_stats_payload(run.stats), fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"stats JSON written to {args.stats_json}")
     return 0
@@ -785,7 +792,7 @@ def cmd_sweep(args) -> int:
         print(f"manifest appended to {args.manifest}")
     if args.stats_json:
         payload = {
-            f"{workload}/{config}/seed{seed}": run.stats.to_dict()
+            f"{workload}/{config}/seed{seed}": _stats_payload(run.stats)
             for (workload, config, seed), run in sorted(results.items())
         }
         with open(args.stats_json, "w", encoding="utf-8") as fh:

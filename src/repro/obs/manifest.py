@@ -101,6 +101,18 @@ def point_digest(**fields) -> str:
     return config_digest(point_fields(**fields))
 
 
+def _energy_block(stats) -> dict:
+    """Deterministic energy breakdown for one record.
+
+    Priced purely from stable counters (firings, hops, accesses), so the
+    block belongs in the *stable* view: serial and parallel sweeps of
+    the same point must produce byte-identical energy blocks.
+    """
+    from repro.sim.energy import estimate_energy
+
+    return estimate_energy(stats).to_dict()
+
+
 def build_manifest(
     run,
     *,
@@ -136,6 +148,7 @@ def build_manifest(
         "wall_time_s": round(getattr(run, "wall_time", 0.0), 6),
         "cycles": run.cycles,
         "stats": run.stats.to_dict(),
+        "energy": _energy_block(run.stats),
     }
     if pnr_seed is not None and pnr_seed != seed:
         # The supervisor retried PnR under a perturbed placement seed;

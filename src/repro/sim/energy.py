@@ -22,14 +22,20 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import SimulationError
 from repro.sim.stats import SimStats
 
 #: Ops priced as full ALU operations.
 ALU_OPS = frozenset(("binop", "unop"))
 #: Ops priced as lightweight control/steering (combinational CF in Monaco).
 CONTROL_OPS = frozenset(
-    ("steer", "carry", "merge", "invariant", "join", "inject", "source")
+    ("steer", "carry", "merge", "select", "invariant", "join", "inject",
+     "source")
 )
+#: Ops that issue a memory request per firing — the access itself is
+#: priced separately (cache/main-memory); this is the issue-side cost of
+#: driving the request into the fabric-memory network, i.e. *movement*.
+MEM_OPS = frozenset(("load", "store"))
 
 
 @dataclass(frozen=True)
@@ -51,6 +57,10 @@ class EnergyReport:
 
     compute: float = 0.0
     control: float = 0.0
+    #: Issue-side cost of load/store firings. Historically folded into
+    #: ``compute``, which deflated the data-movement share — the paper's
+    #: Sec. 1 headline metric; it belongs under movement.
+    mem_issue: float = 0.0
     data_noc: float = 0.0
     fabric_memory_noc: float = 0.0
     cache: float = 0.0
@@ -62,6 +72,7 @@ class EnergyReport:
         return (
             self.compute
             + self.control
+            + self.mem_issue
             + self.data_noc
             + self.fabric_memory_noc
             + self.cache
@@ -78,6 +89,7 @@ class EnergyReport:
             f"total {self.total:.0f}pJ",
             f"compute {self.compute:.0f}",
             f"control {self.control:.0f}",
+            f"mem-issue {self.mem_issue:.0f}",
             f"data-NoC {self.data_noc:.0f}",
             f"FM-NoC {self.fabric_memory_noc:.0f}",
             f"cache {self.cache:.0f}",
@@ -87,6 +99,27 @@ class EnergyReport:
         parts.append(f"data movement {share:.0%}")
         return "; ".join(parts)
 
+    def to_dict(self) -> dict:
+        """Machine-readable breakdown for ``--stats-json``/manifests.
+
+        Derived purely from stable firing/hop/access counters, so the
+        block is deterministic and safe inside manifest stable views.
+        """
+        return {
+            "total_pj": round(self.total, 6),
+            "compute_pj": round(self.compute, 6),
+            "control_pj": round(self.control, 6),
+            "mem_issue_pj": round(self.mem_issue, 6),
+            "data_noc_pj": round(self.data_noc, 6),
+            "fabric_memory_noc_pj": round(self.fabric_memory_noc, 6),
+            "cache_pj": round(self.cache, 6),
+            "main_memory_pj": round(self.main_memory, 6),
+            "data_movement_pj": round(self.data_movement, 6),
+            "data_movement_share": round(
+                self.data_movement / self.total if self.total else 0.0, 6
+            ),
+        }
+
 
 def estimate_energy(
     stats: SimStats, params: EnergyParams | None = None
@@ -94,13 +127,21 @@ def estimate_energy(
     """Price a run's event counts into an energy breakdown."""
     params = params or EnergyParams()
     report = EnergyReport(params=params)
-    for op, count in stats.firings.items():
+    # Sorted so float accumulation order never depends on dict history
+    # (the report must digest identically across serial/parallel runs).
+    for op, count in sorted(stats.firings.items()):
         if op in ALU_OPS:
             report.compute += count * params.pj_alu
         elif op in CONTROL_OPS:
             report.control += count * params.pj_control
-        else:  # load/store issue
-            report.compute += count * params.pj_mem_issue
+        elif op in MEM_OPS:
+            report.mem_issue += count * params.pj_mem_issue
+        else:
+            raise SimulationError(
+                f"estimate_energy: op {op!r} has no energy class; add it "
+                "to ALU_OPS/CONTROL_OPS/MEM_OPS rather than letting it be "
+                "silently mispriced"
+            )
     report.data_noc = stats.noc_hops * params.pj_noc_hop
     report.fabric_memory_noc = stats.fmnoc_hops * params.pj_arb_hop
     accesses = stats.mem.loads + stats.mem.stores

@@ -16,6 +16,22 @@ Ordered dataflow discipline: every input port has a bounded token FIFO
 (backpressure stalls the producer); each PE fires its single instruction
 at most once per fabric cycle; loads may pipeline up to ``max_outstanding``
 requests but always deliver responses in issue order.
+
+Executed-tick hot path
+----------------------
+Firing-dense workloads execute nearly every fabric tick, so per-tick
+cost is wall clock. The dispatch state is therefore laid out in dense
+``nid``-indexed parallel arrays built once at init (node refs, consumer
+edge lists with pre-resolved FIFO deques and hop counts, producer ids
+per input port, response queues), the active and emit-candidate sets are
+incrementally-maintained ordered lists (:class:`_OrderedIntSet` — same
+iteration order as the ``sorted(set)`` they replace), and per-op firing
+counts accumulate in an interned int array folded into
+``SimStats.firings`` at quiescence. All of it is an *optimization, not
+an approximation*: results are bit-identical to the per-tick-``sorted``
+engine (pinned pre-rewrite digests in ``tests/test_engine_hot.py``), and
+the :meth:`state_dict` schema is unchanged, so pre-rewrite snapshots
+restore into the dense layout.
 """
 
 from __future__ import annotations
@@ -36,18 +52,144 @@ from repro.sim.stats import SimStats
 
 
 class _Fifos(FifoLike):
+    """Per-port input FIFOs with two views of the same deques.
+
+    ``queues`` keys by ``(nid, index)`` — the stable identity tests and
+    the snapshot layer use. ``by_node`` is a dense nid-indexed table of
+    per-port deque refs (None for immediates) so :func:`decide`'s
+    ``has``/``peek`` resolve with an int index instead of hashing a
+    fresh tuple per call. Both views alias the *same* deque objects, and
+    restore refills them in place, so neither ever goes stale.
+    """
+
     def __init__(self, dfg: DFG):
         self.queues: dict[tuple[int, int], deque] = {}
+        size = max(dfg.nodes, default=-1) + 1
+        self.by_node: list[list[deque | None] | None] = [None] * size
         for node in dfg.nodes.values():
+            row: list[deque | None] = [None] * len(node.inputs)
             for index, inp in enumerate(node.inputs):
                 if isinstance(inp, PortRef):
-                    self.queues[(node.nid, index)] = deque()
+                    queue: deque = deque()
+                    self.queues[(node.nid, index)] = queue
+                    row[index] = queue
+            self.by_node[node.nid] = row
 
     def has(self, node, index):
-        return bool(self.queues[(node.nid, index)])
+        return bool(self.by_node[node.nid][index])
 
     def peek(self, node, index):
-        return self.queues[(node.nid, index)][0]
+        return self.by_node[node.nid][index][0]
+
+
+class _OrderedIntSet:
+    """Int set with O(1) membership and ascending-order iteration.
+
+    Replaces the engine's per-tick ``sorted(set)``: membership lives in a
+    dense flag table, adds buffer in an unsorted pending list, and
+    discards are lazy (flag cleared, the sorted list keeps a stale
+    entry). :meth:`iter_ordered` merges the pending adds in — dropping
+    stale entries and deduplicating a discarded-then-readded id against
+    its stale copy — and returns the compacted ascending snapshot.
+    That reproduces the replaced loop's semantics exactly: ids added
+    *before* an iteration are visited in ascending order; ids added
+    *during* one land in the next snapshot; callers skip mid-iteration
+    discards with :meth:`has`. When the set is unchanged between ticks,
+    taking the snapshot costs nothing.
+    """
+
+    __slots__ = ("_member", "_items", "_pending", "count")
+
+    def __init__(self, size: int):
+        self._member = bytearray(size)
+        #: Ascending ids; may hold stale (discarded) entries until the
+        #: next compaction.
+        self._items: list[int] = []
+        self._pending: list[int] = []
+        self.count = 0
+
+    def add(self, nid: int) -> None:
+        if not self._member[nid]:
+            self._member[nid] = 1
+            self._pending.append(nid)
+            self.count += 1
+
+    def discard(self, nid: int) -> None:
+        if self._member[nid]:
+            self._member[nid] = 0
+            self.count -= 1
+
+    def has(self, nid: int) -> bool:
+        return bool(self._member[nid])
+
+    __contains__ = has
+
+    def __bool__(self) -> bool:
+        return self.count > 0
+
+    def __len__(self) -> int:
+        return self.count
+
+    def iter_ordered(self):
+        """Compacted ascending snapshot (see class docstring)."""
+        pending = self._pending
+        items = self._items
+        if pending or len(items) != self.count:
+            member = self._member
+            if pending:
+                pending.sort()
+                if len(pending) > 1:
+                    # Repeated discard-then-readd within one tick queues
+                    # the same id more than once; keep one copy so the
+                    # merge's items-vs-pending dedup stays pairwise.
+                    pending = [
+                        nid
+                        for pos, nid in enumerate(pending)
+                        if pos == 0 or nid != pending[pos - 1]
+                    ]
+                self._pending = []
+                merged: list[int] = []
+                append = merged.append
+                i = j = 0
+                ni, nj = len(items), len(pending)
+                while i < ni and j < nj:
+                    a, b = items[i], pending[j]
+                    if a < b:
+                        i += 1
+                        if member[a]:
+                            append(a)
+                    elif b < a:
+                        j += 1
+                        if member[b]:
+                            append(b)
+                    else:
+                        # The stale copy of a discarded-then-readded id
+                        # meets its pending re-add: emit once.
+                        i += 1
+                        j += 1
+                        if member[a]:
+                            append(a)
+                while i < ni:
+                    a = items[i]
+                    i += 1
+                    if member[a]:
+                        append(a)
+                while j < nj:
+                    b = pending[j]
+                    j += 1
+                    if member[b]:
+                        append(b)
+                items = self._items = merged
+            else:
+                items = self._items = [n for n in items if member[n]]
+        return iter(items)
+
+    def __iter__(self):
+        # Members only — compaction guarantees the snapshot is exact.
+        return self.iter_ordered()
+
+    def members(self) -> list[int]:
+        return list(self.iter_ordered())
 
 
 class SimResult:
@@ -217,6 +359,11 @@ def simulate(
         snapshots.finish()
     obs = engine.obs  # a restore swaps in the snapshot's sink set
     stats.frontend = getattr(frontend, "name", type(frontend).__name__)
+    numa_counters = getattr(frontend, "numa_counters", None)
+    if numa_counters is not None:
+        # NUMA-aware frontends tally access locality; surface it (it was
+        # historically counted and snapshotted but never reported).
+        stats.numa = numa_counters()
     if obs is not None:
         obs.finish(stats)
         chrome = getattr(obs, "chrome", None)
@@ -266,8 +413,14 @@ class _Engine:
         self.domain_of = {
             n.nid: compiled.domain_of(n.nid) for n in self.dfg.memory_nodes()
         }
-        self.active: set[int] = set(self.dfg.nodes)
-        self.emit_candidates: set[int] = set()
+        #: Dense dispatch tables indexed by nid (and the active/emit
+        #: ordered lists they pair with); see the module docstring.
+        self._size = max(self.dfg.nodes, default=-1) + 1
+        self._dense_init()
+        self.active = _OrderedIntSet(self._size)
+        for nid in self.dfg.nodes:
+            self.active.add(nid)
+        self.emit_candidates = _OrderedIntSet(self._size)
         #: Tokens pushed earlier in the *current* fabric tick but not yet
         #: committed, per consumer FIFO. ``can_emit`` counts these so two
         #: capacity checks within one tick cannot both claim the same
@@ -301,6 +454,76 @@ class _Engine:
         #: same zero-overhead contract: ``run`` polls one attribute).
         self.snapshots = None
 
+    def _dense_init(self) -> None:
+        """Build the nid-indexed dispatch tables once.
+
+        Every entry aliases the canonical dict-keyed structure it
+        mirrors (``fifos.queues`` deques, ``states`` dicts, ``consumers``
+        lists, ``resp_queue`` deques), and restore refills those in
+        place, so the tables never go stale across a snapshot resume.
+        """
+        size = self._size
+        self._node_by_id = [None] * size
+        self._state_by_id: list[dict | None] = [None] * size
+        #: Per nid: [(fifo_key, consumer_fifo, hops, consumer_nid), ...].
+        self._consumer_edges: list[list[tuple]] = [[] for _ in range(size)]
+        self._resp_by_id: list[deque | None] = [None] * size
+        #: Per nid, per input port: producer nid (PortRef inputs only).
+        self._producer_by_port: list[list[int | None]] = [
+            [] for _ in range(size)
+        ]
+        self._placement_by_id: list[tuple[int, int] | None] = [None] * size
+        #: Interned per-op firing counters, folded into
+        #: ``SimStats.firings`` at quiescence (and at every snapshot).
+        op_index: dict[str, int] = {}
+        self._nid_op = [0] * size
+        self._source_nids: list[int] = []
+        for nid, node in self.dfg.nodes.items():
+            self._node_by_id[nid] = node
+            self._state_by_id[nid] = self.states[nid]
+            self._nid_op[nid] = op_index.setdefault(node.op, len(op_index))
+            self._placement_by_id[nid] = self.compiled.placement.get(nid)
+            row: list[int | None] = [None] * len(node.inputs)
+            for index, inp in enumerate(node.inputs):
+                if isinstance(inp, PortRef):
+                    row[index] = inp.src
+            self._producer_by_port[nid] = row
+            if node.op == "source":
+                self._source_nids.append(nid)
+        for nid in self.resp_queue:
+            self._resp_by_id[nid] = self.resp_queue[nid]
+        queues = self.fifos.queues
+        for producer, consumers in self.consumers.items():
+            self._consumer_edges[producer] = [
+                (
+                    (consumer, index),
+                    queues[(consumer, index)],
+                    self.edge_hops[(producer, consumer)],
+                    consumer,
+                )
+                for consumer, index in consumers
+            ]
+        self._op_names = list(op_index)
+        self._fire_counts = [0] * len(op_index)
+        self._frontend_next = getattr(self.frontend, "next_event", None)
+
+    def _fold_firings(self) -> None:
+        """Fold the interned firing counters into ``stats.firings``.
+
+        Counts are preserved exactly (deltas added, array zeroed), so
+        folding at any cycle boundary is a semantic no-op; it runs at
+        quiescence and before every :meth:`state_dict` so external
+        readers — the invariant checker's ledger, energy, snapshots —
+        always see the complete dict.
+        """
+        counts = self._fire_counts
+        firings = self.stats.firings
+        for op_id, name in enumerate(self._op_names):
+            count = counts[op_id]
+            if count:
+                firings[name] = firings.get(name, 0) + count
+                counts[op_id] = 0
+
     def _init_edge_hops(self) -> None:
         from repro.pnr.netlist import build_netlist
 
@@ -327,34 +550,46 @@ class _Engine:
     # -- helpers ---------------------------------------------------------
 
     def can_emit(self, nid: int) -> bool:
-        for key in self.consumers[nid]:
-            occupied = len(self.fifos.queues[key]) + self.pending_pushes.get(
-                key, 0
-            )
-            if occupied >= self.capacity:
-                return False
+        capacity = self.capacity
+        pending = self.pending_pushes
+        if pending:
+            for key, queue, _hops, _consumer in self._consumer_edges[nid]:
+                if len(queue) + pending.get(key, 0) >= capacity:
+                    return False
+        else:
+            for _key, queue, _hops, _consumer in self._consumer_edges[nid]:
+                if len(queue) >= capacity:
+                    return False
         return True
 
     def push_output(self, nid: int, value, pushes: list) -> None:
         pushes.append((nid, value))
-        for key in self.consumers[nid]:
-            self.pending_pushes[key] = self.pending_pushes.get(key, 0) + 1
+        pending = self.pending_pushes
+        for key, _queue, _hops, _consumer in self._consumer_edges[nid]:
+            pending[key] = pending.get(key, 0) + 1
 
     def commit_pushes(self, pushes: list) -> None:
+        capacity = self.capacity
+        edges = self._consumer_edges
+        active_add = self.active.add
+        tokens = 0
+        hops_total = 0
         for nid, value in pushes:
-            for consumer, index in self.consumers[nid]:
-                queue = self.fifos.queues[(consumer, index)]
+            for _key, queue, hops, consumer in edges[nid]:
                 queue.append(value)
-                if len(queue) > self.capacity:
+                if len(queue) > capacity:
                     node = self.dfg.nodes[consumer]
+                    index = _key[1]
                     raise SimulationError(
                         f"FIFO overflow: node {consumer} ({node.op} "
                         f"{node.tag!r}) port {node.port_name(index)} holds "
-                        f"{len(queue)} tokens (capacity {self.capacity})"
+                        f"{len(queue)} tokens (capacity {capacity})"
                     )
-                self.tokens += 1
-                self.stats.noc_hops += self.edge_hops[(nid, consumer)]
-                self.active.add(consumer)
+                tokens += 1
+                hops_total += hops
+                active_add(consumer)
+        self.tokens += tokens
+        self.stats.noc_hops += hops_total
         self.pending_pushes.clear()
 
     # -- main loop ---------------------------------------------------------
@@ -363,48 +598,60 @@ class _Engine:
         max_cycles = self.arch.sim.max_cycles
         deadlock_after = self.arch.sim.deadlock_cycles
         cycle_skip = self.arch.sim.cycle_skip
+        divider = self.divider
+        stats = self.stats
+        memsys = self.memsys
+        memsys_tick = memsys.tick
+        # The completions heap object is stable across restore (refilled
+        # in place), so peeking it directly skips a generator set-up per
+        # cycle on the (common) idle-completions path.
+        completions = memsys._completions
+        arrivals = self.arrivals
+        frontend_tick = self.frontend.tick
+        enqueue = memsys.enqueue
+        obs = self.obs
         while True:
             if self.snapshots is not None:
                 # Cycle boundary: pending_pushes is empty and the
                 # executed/skipped ledger is closed — the only points
                 # where the machine may be snapshotted or preempted.
                 self.snapshots.boundary(self)
+                obs = self.obs  # a restore may have swapped the sink set
             now = self.now
-            self.stats.executed_cycles += 1
+            stats.executed_cycles += 1
             progressed = False
-            self.memsys.tick(now)
-            for record in self.memsys.completions(now):
-                self._arrival_order += 1
-                heapq.heappush(
-                    self.arrivals,
-                    (
-                        record.complete_cycle + record.response_hops,
-                        self._arrival_order,
-                        record,
-                    ),
-                )
+            memsys_tick(now)
+            if completions and completions[0][0] <= now:
+                for record in memsys.completions(now):
+                    self._arrival_order += 1
+                    heapq.heappush(
+                        arrivals,
+                        (
+                            record.complete_cycle + record.response_hops,
+                            self._arrival_order,
+                            record,
+                        ),
+                    )
                 progressed = True
-            while self.arrivals and self.arrivals[0][0] <= now:
-                record = heapq.heappop(self.arrivals)[2]
+            while arrivals and arrivals[0][0] <= now:
+                record = heapq.heappop(arrivals)[2]
                 record.arrived_cycle = now
                 if record.request.kind == "load":
                     # Arrival-side latency ledger (fault-dropped replies
                     # never reach this point, so they never contribute).
-                    self.memsys.stats.record_arrival(record, now)
+                    memsys.stats.record_arrival(record, now)
                 self.emit_candidates.add(record.nid)
                 progressed = True
-            if self.frontend.tick(
-                now, lambda rec: self.memsys.enqueue(rec, now)
-            ):
+            if frontend_tick(now, lambda rec: enqueue(rec, now)):
                 # Requests advancing through the fabric-memory network
                 # (e.g. Monaco's arbiter chain) count as forward progress
                 # for the deadlock detector.
                 progressed = True
-            if now % self.divider == 0:
+            if now % divider == 0:
                 if self._fabric_tick(now):
                     progressed = True
-            elif self.obs is not None:
-                self.obs.gap(now)
+            elif obs is not None:
+                obs.gap(now)
             if progressed:
                 self.last_event = now
             if self._finished(now):
@@ -419,22 +666,23 @@ class _Engine:
                     now, self.last_event, deadlock_after, max_cycles
                 )
                 if target > now:
-                    if self.obs is not None:
+                    if obs is not None:
                         # Coarse synthesis: the whole quiescent span is
                         # one "skipped" event (nothing happened in it by
                         # construction, so no finer events exist).
-                        self.obs.skip(now, target)
-                    self.stats.skipped_cycles += target - now
+                        obs.skip(now, target)
+                    stats.skipped_cycles += target - now
                     now = target
             self.now = now
-        self.stats.system_cycles = now
-        self.stats.mem = self.memsys.stats
+        self._fold_firings()
+        stats.system_cycles = self.now
+        stats.mem = memsys.stats
         if self.faults is not None:
-            self.stats.faults_injected = self.faults.counts()
+            stats.faults_injected = self.faults.counts()
         self._check_final_state()
         if self.check is not None:
-            self.check.finish(self.stats, self)
-        return self.stats
+            self.check.finish(stats, self)
+        return stats
 
     def _skip_target(
         self, now: int, last_event: int, deadlock_after: int, max_cycles: int
@@ -454,15 +702,14 @@ class _Engine:
             candidates.append(nxt)
         if self.arrivals:
             candidates.append(max(now, self.arrivals[0][0]))
-        frontend_next = getattr(self.frontend, "next_event", None)
-        if frontend_next is not None:
-            nxt = frontend_next(now)
+        if self._frontend_next is not None:
+            nxt = self._frontend_next(now)
         else:
             # Frontends without a hint: never skip while they hold state.
             nxt = now if self.frontend.busy() else None
         if nxt is not None:
             candidates.append(nxt)
-        if self.active or self.emit_candidates:
+        if self.active.count or self.emit_candidates.count:
             # A node may be ready (or retry a blocked emit) at the next
             # fabric tick; idle PEs wake only via the sources above.
             divider = self.divider
@@ -490,10 +737,12 @@ class _Engine:
 
     def _any_ready(self) -> bool:
         # With zero tokens in flight, only a source that has not fired yet
-        # could still act.
-        for nid in self.active:
-            node = self.dfg.nodes[nid]
-            if node.op == "source" and not self.states[nid]["fired"]:
+        # could still act. Sources are enumerated once at init, so this
+        # is O(#sources) membership checks, not a scan of ``active``.
+        active_has = self.active.has
+        states = self._state_by_id
+        for nid in self._source_nids:
+            if active_has(nid) and not states[nid]["fired"]:
                 return True
         return False
 
@@ -506,7 +755,7 @@ class _Engine:
         if obs is not None:
             self._tick_fired = set()
             self._tick_fifo_full = set()
-        if self.emit_candidates:
+        if self.emit_candidates.count:
             progressed |= self._emit_responses(now, pushes)
         progressed |= self._fire_nodes(now, pushes)
         if obs is not None:
@@ -589,11 +838,16 @@ class _Engine:
     def _emit_responses(self, now: int, pushes: list) -> bool:
         progressed = False
         obs = self.obs
-        for nid in sorted(self.emit_candidates):
-            queue = self.resp_queue[nid]
+        emit = self.emit_candidates
+        member = emit._member
+        resp = self._resp_by_id
+        for nid in emit.iter_ordered():
+            if not member[nid]:
+                continue
+            queue = resp[nid]
             record = queue[0] if queue else None
             if record is None or record.arrived_cycle is None:
-                self.emit_candidates.discard(nid)
+                emit.discard(nid)
                 continue
             if not self.can_emit(nid):
                 if obs is not None:
@@ -605,7 +859,7 @@ class _Engine:
                 self.check.response(now, nid, record)
             self.push_output(nid, record.value, pushes)
             self.stats.fmnoc_hops += 2 * record.response_hops
-            node = self.dfg.nodes[nid]
+            node = self._node_by_id[nid]
             latency = record.arrived_cycle - record.issue_cycle
             if record.request.kind == "load":
                 self.stats.record_load(
@@ -617,67 +871,90 @@ class _Engine:
             # The PE may issue again now that a slot freed up.
             self.active.add(nid)
             if not queue or queue[0].arrived_cycle is None:
-                self.emit_candidates.discard(nid)
+                emit.discard(nid)
             progressed = True
         return progressed
 
     def _fire_nodes(self, now: int, pushes: list) -> bool:
         progressed = False
-        for nid in sorted(self.active):
-            node = self.dfg.nodes[nid]
-            decision = decide(
-                node, self.states[nid], self.fifos, self.params
-            )
-            if decision is None:
-                self.active.discard(nid)
+        active = self.active
+        member = active._member
+        discard = active.discard
+        add = active.add
+        nodes = self._node_by_id
+        states = self._state_by_id
+        resp = self._resp_by_id
+        producers = self._producer_by_port
+        in_fifos = self.fifos.by_node
+        fire_counts = self._fire_counts
+        nid_op = self._nid_op
+        fifos = self.fifos
+        params = self.params
+        capacity = self.capacity
+        max_outstanding = self.max_outstanding
+        obs = self.obs
+        faults = self.faults
+        check = self.check
+        tokens_popped = 0
+        for nid in active.iter_ordered():
+            if not member[nid]:
                 continue
-            if decision.mem is not None:
-                if len(self.resp_queue[nid]) >= self.max_outstanding:
-                    self.active.discard(nid)
+            decision = decide(nodes[nid], states[nid], fifos, params)
+            if decision is None:
+                discard(nid)
+                continue
+            mem = decision.mem
+            if mem is not None:
+                if len(resp[nid]) >= max_outstanding:
+                    discard(nid)
                     continue
             elif decision.emit is not NO_EMIT and not self.can_emit(nid):
-                self.active.discard(nid)
+                discard(nid)
                 continue
-            if self.faults is not None and self.faults.stall_pe():
+            if faults is not None and faults.stall_pe():
                 # Injected PE stall: the firing was legal but is
                 # suppressed this tick. The node stays active and
                 # retries at the next fabric tick (so the cycle-skip
                 # scheduler still schedules it).
                 continue
-            if self.check is not None:
+            if check is not None:
                 # Shadow pops + cadence check for exactly the tokens
                 # this firing consumes (after the fault gate, so a
                 # suppressed firing is not counted).
-                self.check.fire(now, nid, decision)
+                check.fire(now, nid, decision)
             # Commit the firing.
-            for index in decision.pops:
-                queue = self.fifos.queues[(nid, index)]
-                was_full = len(queue) >= self.capacity
-                queue.popleft()
-                self.tokens -= 1
-                if was_full:
-                    self.active.add(self.producer_of[(nid, index)])
+            pops = decision.pops
+            if pops:
+                fifo_row = in_fifos[nid]
+                producer_row = producers[nid]
+                for index in pops:
+                    queue = fifo_row[index]
+                    if len(queue) >= capacity:
+                        add(producer_row[index])
+                    queue.popleft()
+                    tokens_popped += 1
             if decision.state is not None:
-                self.states[nid].update(decision.state)
-            if decision.mem is not None:
-                self._issue_memory(nid, decision.mem, now)
+                states[nid].update(decision.state)
+            if mem is not None:
+                self._issue_memory(nid, mem, now)
             elif decision.emit is not NO_EMIT:
                 self.push_output(nid, decision.emit, pushes)
-            self.stats.firings[node.op] = (
-                self.stats.firings.get(node.op, 0) + 1
-            )
-            if self.obs is not None:
+            fire_counts[nid_op[nid]] += 1
+            if obs is not None:
+                node = nodes[nid]
                 self._tick_fired.add(nid)
-                self.obs.fire(now, node, self.compiled.placement[nid])
-                self.obs.fire_pops(
+                obs.fire(now, node, self._placement_by_id[nid])
+                obs.fire_pops(
                     now,
                     nid,
-                    decision.pops,
-                    decision.mem is not None,
-                    decision.mem is None and decision.emit is not NO_EMIT,
+                    pops,
+                    mem is not None,
+                    mem is None and decision.emit is not NO_EMIT,
                 )
             progressed = True
             # The node may be ready again next tick; keep it active.
+        if tokens_popped:
+            self.tokens -= tokens_popped
         return progressed
 
     def _issue_memory(self, nid: int, request, now: int) -> None:
@@ -691,10 +968,10 @@ class _Engine:
             seq=self._seq,
             request=request,
             address=self.address_map.address(request.array, request.index),
-            pe_coord=self.compiled.placement[nid],
+            pe_coord=self._placement_by_id[nid],
             issue_cycle=now,
         )
-        self.resp_queue[nid].append(record)
+        self._resp_by_id[nid].append(record)
         self.mem_inflight += 1
         self.frontend.inject(record, now)
 
@@ -709,7 +986,11 @@ class _Engine:
         arrivals heap, bank queues and frontend latches). The ``obs``
         and ``check`` entries are the live objects themselves: they are
         closures over nothing but plain data, so they pickle wholesale.
+        The schema is the pre-dense-rewrite one — ``active`` and
+        ``emit_candidates`` serialize as plain sets, firing counters are
+        folded first — so snapshots stay portable across engine layouts.
         """
+        self._fold_firings()
         return {
             "now": self.now,
             "last_event": self.last_event,
@@ -742,12 +1023,15 @@ class _Engine:
     def load_state_dict(self, state: dict) -> None:
         """Restore a :meth:`state_dict` in place (resume path).
 
-        Structural containers (FIFO dict, resp queues, memory arrays)
-        are refilled rather than replaced, preserving the identities the
-        constructor wired up; the ``obs``/``check`` objects from the
-        snapshot *replace* the freshly-built ones — their accumulated
-        history is part of the machine state — and the aliases on the
-        memory system and frontend are re-pointed accordingly.
+        Structural containers (FIFO dict, node states, resp queues,
+        memory arrays) are refilled rather than replaced, preserving the
+        identities the constructor — and :meth:`_dense_init` — wired up;
+        the ``obs``/``check`` objects from the snapshot *replace* the
+        freshly-built ones — their accumulated history is part of the
+        machine state — and the aliases on the memory system and
+        frontend are re-pointed accordingly. The plain-set ``active``/
+        ``emit_candidates`` entries (the portable schema, unchanged
+        since before the dense rewrite) rebuild the ordered lists.
         """
         for side, present in (
             ("faults", state["faults"] is not None),
@@ -766,7 +1050,9 @@ class _Engine:
             queue.clear()
             queue.extend(items)
         for nid, node_state in state["states"].items():
-            self.states[nid] = dict(node_state)
+            current = self.states[nid]
+            current.clear()
+            current.update(node_state)
         for nid, items in state["resp_queue"].items():
             queue = self.resp_queue[nid]
             queue.clear()
@@ -776,10 +1062,17 @@ class _Engine:
         self._seq = state["seq"]
         self.tokens = state["tokens"]
         self.mem_inflight = state["mem_inflight"]
-        self.active = set(state["active"])
-        self.emit_candidates = set(state["emit_candidates"])
+        self.active = _OrderedIntSet(self._size)
+        for nid in state["active"]:
+            self.active.add(nid)
+        self.emit_candidates = _OrderedIntSet(self._size)
+        for nid in state["emit_candidates"]:
+            self.emit_candidates.add(nid)
         self.pending_pushes.clear()
         self.stats.load_state_dict(state["stats"])
+        # The restored firings dict is the complete pre-snapshot ledger
+        # (folded at write time); the interned deltas restart from zero.
+        self._fire_counts = [0] * len(self._fire_counts)
         self.memsys.load_state_dict(state["memsys"])
         self.frontend.load_state_dict(state["frontend"])
         if state["faults"] is not None:

@@ -71,6 +71,38 @@ class MonacoFrontend:
         for port in self.port_sources:
             self.port_rr[port] = 0
         self.in_network = 0
+        self._build_plans()
+
+    def _build_plans(self) -> None:
+        """Pre-resolve the per-cycle iteration order once.
+
+        The replaced tick sorted ``port_sources``/``arbiters`` and hashed
+        an ``ArbiterId`` or PE coord per take — every system cycle, on
+        structures that never change after construction. The plans bake
+        in the sorted order and swap each source id for its live handle
+        (the PE's injection deque, or the ``_Arbiter`` object itself);
+        restore refills those in place, so handles never go stale.
+        """
+
+        def handle(source):
+            if isinstance(source, ArbiterId):
+                return self.arbiters[source]
+            return self.pe_queues[source]
+
+        #: (port, [source handles]) in ascending port order.
+        self._port_plan = [
+            (port, [handle(s) for s in self.port_sources[port]])
+            for port in sorted(self.port_sources)
+        ]
+        #: (arb_id, arbiter, [source handles]) nearest-to-memory domain
+        #: first — the order that advances a request one stage per cycle.
+        self._arb_plan = [
+            (arb_id, self.arbiters[arb_id],
+             [handle(s) for s in self.arbiters[arb_id].sources])
+            for arb_id in sorted(
+                self.arbiters, key=lambda a: (a.domain, a.row)
+            )
+        ]
 
     # -- Frontend interface ------------------------------------------------
 
@@ -92,82 +124,83 @@ class MonacoFrontend:
         counts this as progress, so a request crawling through a long
         arbiter chain does not false-trip ``DeadlockError``.
         """
+        if not self.in_network:
+            # Empty network: nothing to grant anywhere, no round-robin
+            # cursor moves, no arbiter stall accrues (latches are all
+            # empty) — the full scan below would be a provable no-op.
+            return False
         moved = False
-        # 1. Ports consume (one request per port per cycle).
-        for port in sorted(self.port_sources):
-            sources = self.port_sources[port]
+        obs = self.obs
+        faults = self.faults
+        # 1. Ports consume (one request per port per cycle). A source
+        # handle is either an upstream _Arbiter (take = drain its latch)
+        # or a PE injection deque (take = popleft).
+        for port, handles in self._port_plan:
             start = self.port_rr[port]
-            for offset in range(len(sources)):
-                source = sources[(start + offset) % len(sources)]
-                record = self._take(source)
+            n = len(handles)
+            for offset in range(n):
+                handle = handles[(start + offset) % n]
+                if type(handle) is _Arbiter:
+                    record = handle.latch
+                else:
+                    record = handle[0] if handle else None
                 if record is not None:
-                    if self.faults is not None and self.faults.skip_grant():
+                    if faults is not None and faults.skip_grant():
                         # Injected grant glitch: the port granted this
                         # source but the transfer is withheld; the
                         # request stays where it was and the port wastes
                         # the cycle.
-                        self._put_back(source, record)
                         break
-                    self.port_rr[port] = (start + offset + 1) % len(sources)
+                    if type(handle) is _Arbiter:
+                        handle.latch = None
+                    else:
+                        handle.popleft()
+                    self.port_rr[port] = (start + offset + 1) % n
                     self.in_network -= 1
                     deliver(record)
-                    if self.obs is not None:
-                        self.obs.fmnoc(now, ("port", port))
+                    if obs is not None:
+                        obs.fmnoc(now, ("port", port))
                     moved = True
                     break
         # 2. Arbiters refill their latches, nearest-to-memory domain first
         #    so a request advances at most one stage per cycle.
-        for arb_id in sorted(
-            self.arbiters, key=lambda a: (a.domain, a.row)
-        ):
-            arbiter = self.arbiters[arb_id]
+        for arb_id, arbiter, handles in self._arb_plan:
             if arbiter.latch is not None:
                 arbiter.stall_cycles += 1
                 continue
             start = arbiter.rr
-            for offset in range(len(arbiter.sources)):
-                source = arbiter.sources[(start + offset) % len(arbiter.sources)]
-                record = self._take(source)
+            n = len(handles)
+            for offset in range(n):
+                handle = handles[(start + offset) % n]
+                if type(handle) is _Arbiter:
+                    record = handle.latch
+                else:
+                    record = handle[0] if handle else None
                 if record is not None:
-                    if self.faults is not None and self.faults.skip_grant():
+                    if faults is not None and faults.skip_grant():
                         # Injected grant glitch: the stage keeps its
                         # latch empty this cycle and the request stays
                         # at its source.
-                        self._put_back(source, record)
                         break
-                    arbiter.rr = (start + offset + 1) % len(arbiter.sources)
+                    if type(handle) is _Arbiter:
+                        handle.latch = None
+                    else:
+                        handle.popleft()
+                    arbiter.rr = (start + offset + 1) % n
                     arbiter.latch = record
-                    if self.obs is not None:
-                        self.obs.fmnoc(
+                    if obs is not None:
+                        obs.fmnoc(
                             now, ("arb", arb_id.row, arb_id.domain)
                         )
                     moved = True
                     break
         return moved
 
-    def _take(self, source) -> RequestRecord | None:
-        """Pull one request from a PE queue or an arbiter latch."""
-        if isinstance(source, ArbiterId):
-            arbiter = self.arbiters[source]
-            record = arbiter.latch
-            arbiter.latch = None
-            return record
-        queue = self.pe_queues[source]
-        if queue:
-            return queue.popleft()
-        return None
-
-    def _put_back(self, source, record: RequestRecord) -> None:
-        """Undo a :meth:`_take` (fault-injected grant withheld)."""
-        if isinstance(source, ArbiterId):
-            self.arbiters[source].latch = record
-        else:
-            self.pe_queues[source].appendleft(record)
-
     def busy(self) -> bool:
-        if any(self.pe_queues.values()):
-            return True
-        return any(a.latch is not None for a in self.arbiters.values())
+        # in_network counts every request between inject() and the port
+        # deliver — PE queues and latches alike (audit() recounts and
+        # the conformance layer proves the ledger exact).
+        return self.in_network > 0
 
     # -- snapshots ---------------------------------------------------------
 

@@ -51,6 +51,14 @@ class HybridFrontend(MonacoFrontend):
     def region_of_address(self, address: int) -> int:
         return self.address_map.line(address) % self.n_regions
 
+    def numa_counters(self) -> dict[str, int]:
+        """Locality tally for :attr:`SimStats.numa` (same accessor as
+        :meth:`repro.sim.upea.NumaFrontend.numa_counters`)."""
+        return {
+            "local_accesses": self.local_accesses,
+            "remote_accesses": self.remote_accesses,
+        }
+
     def tick(self, now: int, deliver) -> bool:
         def stage(record: RequestRecord) -> None:
             local = self.row_region[record.pe_coord[1]] == (

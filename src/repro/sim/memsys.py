@@ -166,6 +166,14 @@ class MemorySystem:
         self.bank_queues: list[deque] = [
             deque() for _ in range(params.n_banks)
         ]
+        #: Busy-bank calendar: a heap of the indices of non-empty bank
+        #: queues (each exactly once), plus a total queued-request
+        #: counter. ``tick``/``busy``/``next_event`` consult these
+        #: instead of scanning all ``n_banks`` queues — on quiet cycles
+        #: that is O(1), and a tick serves only the banks that actually
+        #: hold work, in the same ascending-index order as the scan.
+        self._busy_banks: list[int] = []
+        self._queued = 0
         self._completions: list[tuple[int, int, RequestRecord]] = []
         self._order = 0
         self.stats = MemStats()
@@ -177,17 +185,40 @@ class MemorySystem:
     def enqueue(self, record: RequestRecord, now: int) -> None:
         """A request arrives at its bank's queue."""
         bank = self.address_map.bank(record.address)
-        self.bank_queues[bank].append(record)
+        queue = self.bank_queues[bank]
+        if not queue:
+            heapq.heappush(self._busy_banks, bank)
+        queue.append(record)
+        self._queued += 1
         record.enqueue_cycle = now
 
     def tick(self, now: int) -> None:
-        """Serve up to ``bank_throughput`` requests per bank this cycle."""
-        for queue in self.bank_queues:
-            for _ in range(self.params.bank_throughput):
+        """Serve up to ``bank_throughput`` requests per bank this cycle.
+
+        Drains the busy-bank heap in ascending index order — identical
+        service order to the full-scan loop it replaces (the engine only
+        enqueues *after* this tick ran, so no bank turns busy mid-drain).
+        Banks still holding requests re-enter the calendar; the drain
+        order keeps that remainder sorted, so it is a valid heap as-is.
+        """
+        busy = self._busy_banks
+        if not busy:
+            return
+        queues = self.bank_queues
+        throughput = self.params.bank_throughput
+        still_busy: list[int] = []
+        while busy:
+            bank = heapq.heappop(busy)
+            queue = queues[bank]
+            for _ in range(throughput):
                 if not queue:
                     break
                 record = queue.popleft()
+                self._queued -= 1
                 self._serve(record, now)
+            if queue:
+                still_busy.append(bank)
+        busy.extend(still_busy)
 
     def _serve(self, record: RequestRecord, now: int) -> None:
         request = record.request
@@ -237,7 +268,7 @@ class MemorySystem:
             yield heapq.heappop(self._completions)[2]
 
     def busy(self) -> bool:
-        return bool(self._completions) or any(self.bank_queues)
+        return bool(self._completions) or self._queued > 0
 
     def state_dict(self) -> dict:
         """Complete mutable state for mid-run snapshots.
@@ -268,7 +299,14 @@ class MemorySystem:
         for queue, items in zip(self.bank_queues, state["bank_queues"]):
             queue.clear()
             queue.extend(items)
-        self._completions = list(state["completions"])
+        # Rebuild the busy-bank calendar from the restored queues; an
+        # ascending index list is already a valid heap.
+        self._busy_banks = [
+            bank for bank, queue in enumerate(self.bank_queues) if queue
+        ]
+        self._queued = sum(len(queue) for queue in self.bank_queues)
+        # In place: the engine's run loop holds a reference to this heap.
+        self._completions[:] = state["completions"]
         self._order = state["order"]
         self.cache.lines = OrderedDict(
             (line, None) for line in state["cache_lines"]
@@ -291,7 +329,7 @@ class MemorySystem:
         queues need service every cycle; otherwise the next interesting
         cycle is the earliest pending completion. ``None`` means idle.
         """
-        if any(self.bank_queues):
+        if self._queued:
             return now
         if self._completions:
             return max(now, self._completions[0][0])

@@ -133,6 +133,10 @@ class SimStats:
     #: Fault injections actually performed (empty when injection is off,
     #: so clean runs stay bit-identical to pre-fault-layer builds).
     faults_injected: dict[str, int] = field(default_factory=dict)
+    #: NUMA locality split (``local_accesses``/``remote_accesses``) from
+    #: frontends that tally one — the NUMA-UPEA baseline and the hybrid.
+    #: Empty for uniform/Monaco runs, so their digests are unchanged.
+    numa: dict[str, int] = field(default_factory=dict)
     #: Critical-path attribution (see :mod:`repro.obs.critpath`): the
     #: compact report the recorder publishes at finish — category costs
     #: summing exactly to ``system_cycles``, the coarse rollup, and the
@@ -202,6 +206,15 @@ class SimStats:
         )
         if dom:
             parts.append(f"by domain [{dom}]")
+        if self.numa:
+            local = self.numa.get("local_accesses", 0)
+            remote = self.numa.get("remote_accesses", 0)
+            total = local + remote
+            share = local / total if total else 0.0
+            parts.append(
+                f"NUMA {local} local / {remote} remote "
+                f"({share:.0%} local)"
+            )
         if self.critpath:
             denom = max(1, self.critpath.get("system_cycles", 1))
             rollup = self.critpath.get("rollup", {})
@@ -258,6 +271,7 @@ class SimStats:
             "executed_cycles": self.executed_cycles,
             "skipped_cycles": self.skipped_cycles,
             "faults_injected": dict(self.faults_injected),
+            "numa": dict(self.numa),
             "critpath": dict(self.critpath),
         }
 
@@ -283,6 +297,9 @@ class SimStats:
         self.executed_cycles = state["executed_cycles"]
         self.skipped_cycles = state["skipped_cycles"]
         self.faults_injected = dict(state["faults_injected"])
+        # .get: pre-numa-reporting snapshots lack the key (the live
+        # tallies are restored through the frontend's own state anyway).
+        self.numa = dict(state.get("numa", {}))
         self.critpath = dict(state["critpath"])
 
     def to_dict(self) -> dict:
@@ -322,6 +339,11 @@ class SimStats:
             **(
                 {"faults_injected": dict(sorted(self.faults_injected.items()))}
                 if self.faults_injected
+                else {}
+            ),
+            **(
+                {"numa": dict(sorted(self.numa.items()))}
+                if self.numa
                 else {}
             ),
             **({"critpath": self.critpath} if self.critpath else {}),

@@ -117,6 +117,14 @@ class NumaFrontend(UniformFrontend):
     def domain_of_address(self, address: int) -> int:
         return self.address_map.line(address) % self.n_domains
 
+    def numa_counters(self) -> dict[str, int]:
+        """Locality tally for :attr:`SimStats.numa` (reported at
+        quiescence; the split is the whole point of the NUMA baseline)."""
+        return {
+            "local_accesses": self.local_accesses,
+            "remote_accesses": self.remote_accesses,
+        }
+
     def inject(self, record: RequestRecord, now: int) -> None:
         record.response_hops = 0
         local = self.pe_domain[record.pe_coord] == self.domain_of_address(

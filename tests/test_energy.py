@@ -44,6 +44,7 @@ class TestEstimate:
         parts = (
             report.compute
             + report.control
+            + report.mem_issue
             + report.data_noc
             + report.fabric_memory_noc
             + report.cache
@@ -74,6 +75,53 @@ class TestEstimate:
         near = estimate_energy(run("join", EFFCC).stats)
         far = estimate_energy(run("join", DOMAIN_UNAWARE).stats)
         assert far.fabric_memory_noc > near.fabric_memory_noc
+
+
+class TestMemIssueBucket:
+    """Regression: load/store-issue firings are *data movement*.
+
+    They were historically priced into ``compute``, silently deflating
+    the data-movement share — the paper's Sec. 1 headline metric.
+    """
+
+    def test_mem_issue_priced_separately(self):
+        stats = SimStats(firings={"load": 10, "store": 4, "binop": 6})
+        report = estimate_energy(stats)
+        params = report.params
+        assert report.mem_issue == pytest.approx(14 * params.pj_mem_issue)
+        assert report.compute == pytest.approx(6 * params.pj_alu)
+
+    def test_movement_share_counts_mem_issue(self):
+        result = run("join")
+        report = estimate_energy(result.stats)
+        assert report.mem_issue > 0
+        # The share with the bucket correctly under movement must exceed
+        # what the old compute-bucket accounting reported.
+        deflated = (report.data_movement - report.mem_issue) / report.total
+        share = report.data_movement / report.total
+        assert share == pytest.approx(
+            (report.total - report.compute - report.control) / report.total
+        )
+        assert share > deflated
+
+    def test_unknown_op_is_an_error(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError, match="no energy class"):
+            estimate_energy(SimStats(firings={"frobnicate": 1}))
+
+    def test_breakdown_dict_is_stable(self):
+        stats = SimStats(firings={"load": 3, "binop": 2}, noc_hops=7)
+        first = estimate_energy(stats).to_dict()
+        # Same counters inserted in a different dict order: identical
+        # block (accumulation is sorted, so floats match bit-for-bit).
+        again = estimate_energy(
+            SimStats(firings={"binop": 2, "load": 3}, noc_hops=7)
+        ).to_dict()
+        assert first == again
+        assert first["data_movement_pj"] == pytest.approx(
+            first["total_pj"] - first["compute_pj"] - first["control_pj"]
+        )
 
 
 def test_energy_report_defaults():

@@ -236,6 +236,83 @@ class TestManifests:
         assert config_digest({"a": 1}) != config_digest({"a": 2})
 
 
+class TestNumaAndEnergyReporting:
+    """Counters that were tallied but never reported now surface.
+
+    ``NumaFrontend.local_accesses``/``remote_accesses`` reach
+    ``SimStats.numa`` (summary, to_dict, manifests) and every manifest
+    record carries a deterministic ``energy`` block priced from stable
+    counters — part of the stable view, equal serial vs parallel.
+    """
+
+    def test_numa_counters_surface_in_stats(self):
+        arch = ArchParams()
+        run = _run(arch, config=numa(2))
+        stats = run.stats
+        assert stats.numa
+        total = (
+            stats.numa["local_accesses"] + stats.numa["remote_accesses"]
+        )
+        # Every memory request was classified exactly once (no drops in
+        # a clean run, so injects == serviced accesses).
+        assert total == stats.mem.loads + stats.mem.stores
+        assert "NUMA" in stats.summary()
+        assert stats.to_dict()["numa"] == {
+            "local_accesses": stats.numa["local_accesses"],
+            "remote_accesses": stats.numa["remote_accesses"],
+        }
+
+    def test_non_numa_runs_report_nothing(self):
+        # Monaco tallies no locality split: the key must stay absent so
+        # existing stats digests are untouched.
+        run = _run(ArchParams(), config=MONACO)
+        assert run.stats.numa == {}
+        assert "numa" not in run.stats.to_dict()
+        assert "NUMA" not in run.stats.summary()
+
+    def test_numa_counters_equal_serial_vs_parallel(self, tmp_path):
+        kwargs = dict(
+            workloads=[WORKLOAD],
+            configs=[numa(2)],
+            scale=SCALE,
+            seeds=(0,),
+        )
+        serial = run_parallel(max_workers=1, **kwargs)
+        pooled = run_parallel(
+            max_workers=2, cache_dir=tmp_path / "cache", **kwargs
+        )
+        key = (WORKLOAD, numa(2).name, 0)
+        assert serial[key].stats.numa == pooled[key].stats.numa
+        assert serial[key].stats.numa["local_accesses"] > 0
+
+    def test_manifest_carries_stable_energy_block(self, tmp_path):
+        first = tmp_path / "first.jsonl"
+        second = tmp_path / "second.jsonl"
+        for path in (first, second):
+            run_workload_on_configs(
+                WORKLOAD, [upea(2), MONACO], scale=SCALE, manifest_path=path
+            )
+        records = read_manifest(first)
+        for record in records:
+            energy = record["energy"]
+            assert energy["total_pj"] > 0
+            assert energy["mem_issue_pj"] > 0
+            assert energy["data_movement_pj"] == pytest.approx(
+                energy["total_pj"]
+                - energy["compute_pj"]
+                - energy["control_pj"]
+            )
+            # Energy derives from stable counters: part of the stable
+            # view, not a volatile key.
+            assert "energy" in stable_view(record)
+        # Byte-for-byte digest stability across repeat runs.
+        a = [json.dumps(stable_view(r), sort_keys=True)
+             for r in records]
+        b = [json.dumps(stable_view(r), sort_keys=True)
+             for r in read_manifest(second)]
+        assert a == b
+
+
 class TestEventBus:
     def test_attach_binds_only_implemented_hooks(self):
         class Sink:
