@@ -14,6 +14,9 @@ Commands:
   Table 1 workload;
 * ``trace`` — run with tracing and export a Chrome ``trace_event`` JSON
   (load it in Perfetto / ``chrome://tracing``);
+* ``fdo`` — feedback-directed placement: iterate compile -> profiled
+  run -> per-node blame -> reweighted PnR until the weight map or the
+  makespan converges (see :mod:`repro.exp.fdo`);
 * ``figure`` — regenerate one of the paper's evaluation figures;
 * ``sweep`` — run a (workload x config x seed) sweep, optionally across
   worker processes sharing a persistent compile cache; supervised by
@@ -61,6 +64,7 @@ FIGURES = {
     "stalls": figures_mod.fig_stalls,
     "jitter": figures_mod.fig_jitter,
     "critblame": figures_mod.fig_critblame,
+    "fdo": figures_mod.fig_fdo,
 }
 
 
@@ -157,6 +161,12 @@ def build_parser() -> argparse.ArgumentParser:
         "(bit-identical to an uninterrupted run); an invalid or "
         "mismatched snapshot is refused",
     )
+    p_run.add_argument(
+        "--profile-guided", action="store_true",
+        help="refine class-B/C criticality by a profiling run on this "
+        "instance's own inputs before placement "
+        "(see repro.core.profile)",
+    )
 
     def add_sim_args(p):
         p.add_argument("workload", choices=sorted(ALL_WORKLOADS))
@@ -247,6 +257,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="where to write the trace (default: trace.json)",
     )
 
+    p_fdo = sub.add_parser(
+        "fdo",
+        help="feedback-directed placement: compile -> profiled run -> "
+        "per-node blame -> reweighted PnR, iterated to convergence",
+    )
+    add_sim_args(p_fdo)
+    p_fdo.add_argument(
+        "--rounds", type=int, default=3, metavar="N",
+        help="bound on feedback rounds after the static round 0 "
+        "(default 3)",
+    )
+    p_fdo.add_argument(
+        "--manifest", default=None, metavar="PATH",
+        help="append one deterministic JSONL record per round",
+    )
+    p_fdo.add_argument(
+        "--portfolio-jobs", type=int, default=1, metavar="N",
+        help="evaluate each round's PnR portfolio on N processes "
+        "(bit-identical result and journal, just faster compiles)",
+    )
+    p_fdo.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the full round journal and outcome as JSON",
+    )
+
     p_fig = sub.add_parser(
         "figure", help="regenerate one evaluation figure"
     )
@@ -335,6 +370,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--grace", type=float, default=5.0, metavar="SECONDS",
         help="seconds a timed-out job may spend writing its snapshot "
         "before the hard kill (default 5)",
+    )
+    p_sweep.add_argument(
+        "--profile-guided", action="store_true",
+        help="compile every point with profile-refined criticality "
+        "(each point profiles its own instance; the manifest identity "
+        "gains a profile marker, so static and profiled journals never "
+        "mix on --resume)",
     )
     fault_group = p_sweep.add_argument_group(
         "fault injection",
@@ -476,8 +518,19 @@ def cmd_run(args) -> int:
         seed=args.seed,
         incremental=not args.naive_pnr,
         portfolio_jobs=args.portfolio_jobs,
+        profile_guided=args.profile_guided,
     )
     print(compiled.summary())
+    profile_report = compiled.meta.get("profile")
+    if profile_report is not None:
+        promoted = profile_report.get("promoted", [])
+        demoted = profile_report.get("demoted", [])
+        print(
+            f"profile-guided: promoted {len(promoted)} node(s) C->B "
+            f"{promoted}, demoted {len(demoted)} node(s) B->C {demoted}"
+        )
+        if profile_report.get("note"):
+            print(f"profile-guided: {profile_report['note']}")
     if compiled.pnr is not None:
         pnr = compiled.pnr
         print(
@@ -699,11 +752,38 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_fdo(args) -> int:
+    from repro.exp.fdo import run_fdo
+
+    result = run_fdo(
+        args.workload,
+        rounds=args.rounds,
+        scale=args.scale,
+        seed=args.seed,
+        config=_config_for(args.config),
+        arch=ArchParams(noc_tracks=args.tracks),
+        fabric_spec=(args.topology, args.rows, args.cols),
+        policy=get_policy(args.policy),
+        portfolio_jobs=args.portfolio_jobs,
+        manifest_path=args.manifest,
+    )
+    print(result.summary())
+    if args.manifest:
+        print(f"round journal appended to {args.manifest}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(result.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"fdo JSON written to {args.json}")
+    return 0
+
+
 def cmd_figure(args) -> int:
     fig = FIGURES[args.name]
     kwargs = {"scale": args.scale}
     if args.workloads and args.name in (
-        "fig11", "fig12", "fig14", "fig15", "stalls", "jitter", "critblame",
+        "fig11", "fig12", "fig14", "fig15", "stalls", "jitter",
+        "critblame", "fdo",
     ):
         kwargs["workloads"] = args.workloads
     if args.jobs > 1 and args.name == "fig11":
@@ -763,6 +843,7 @@ def cmd_sweep(args) -> int:
         sweep_policy=sweep_policy,
         resume=args.resume,
         snapshot_dir=snapshot_dir,
+        profile_guided=args.profile_guided,
     )
     results = outcome.results
     width = max(len(w) for w in args.workloads)
@@ -954,6 +1035,7 @@ COMMANDS = {
     "profile": cmd_profile,
     "critpath": cmd_critpath,
     "trace": cmd_trace,
+    "fdo": cmd_fdo,
     "figure": cmd_figure,
     "sweep": cmd_sweep,
     "cache": cmd_cache,

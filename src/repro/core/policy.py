@@ -44,6 +44,27 @@ class PlacementPolicy:
             return self.weight_c
         raise PnRError(f"unknown criticality class {criticality!r}")
 
+    def node_weight(
+        self,
+        criticality: str,
+        nid: int,
+        overrides: dict[int, float] | None = None,
+    ) -> float:
+        """Per-node placement weight: the override when one exists.
+
+        ``overrides`` maps DFG node id -> weight (e.g. derived from
+        measured critical-path blame, see :mod:`repro.exp.fdo`); nodes
+        absent from the map — and every node when the map is ``None`` —
+        fall back to the class weight, returning the *identical float*
+        :meth:`weight` would, so the no-override path is bit-identical
+        to the historical class-weight path.
+        """
+        if overrides is not None:
+            override = overrides.get(nid)
+            if override is not None:
+                return float(override)
+        return self.weight(criticality)
+
     @property
     def domain_aware(self) -> bool:
         return (self.weight_a, self.weight_b, self.weight_c) != (0, 0, 0)

@@ -9,6 +9,23 @@ dominate traffic. This pass runs the kernel once through the untimed DFG
 interpreter on profiling inputs and reclassifies class B/C memory nodes by
 measured firing frequency. Class A is structural (recurrence membership)
 and is never changed by profiling.
+
+The pass is wired into compilation as ``compile_once(..., profile=...)``
+(surfaced as ``--profile-guided`` on ``repro run`` / ``repro sweep``) and
+is the seed of the full feedback-directed loop in :mod:`repro.exp.fdo`.
+
+Two sharp edges, both regression-tested:
+
+* **No caller mutation by default.** Refinement annotates
+  ``node.criticality`` only when ``in_place=True`` (the compile flow,
+  which owns a freshly lowered DFG). Refining a caller's DFG in place
+  used to leave compile-cache entries keyed on the *unrefined* graph
+  looking valid while the graph underneath them had changed class labels.
+* **Degenerate profiles keep static classes.** When every memory node
+  fires zero times on the profiling input (an untaken guard, a
+  zero-trip loop), there is no frequency signal; the old behavior
+  silently demoted every class-B node to C. Now the static classes are
+  kept and :attr:`ProfileReport.degenerate`/``note`` say why.
 """
 
 from __future__ import annotations
@@ -32,6 +49,22 @@ class ProfileReport:
     node_counts: dict[int, int]
     promoted: list[int]  # C -> B
     demoted: list[int]  # B -> C
+    #: True when the profiling run produced no memory-node firings at
+    #: all (no frequency signal): static classes are kept unchanged.
+    degenerate: bool = False
+    #: Human-readable caveat for degenerate (or otherwise noteworthy)
+    #: profiles; surfaced in manifests and the CLI.
+    note: str | None = None
+
+    def to_dict(self) -> dict:
+        """Deterministic JSON-safe view (manifests, ``--stats-json``)."""
+        return {
+            "promoted": list(self.promoted),
+            "demoted": list(self.demoted),
+            "degenerate": self.degenerate,
+            "note": self.note,
+            "counts": self.report.counts(),
+        }
 
 
 def profile_dfg(
@@ -43,15 +76,27 @@ def profile_dfg(
     return run_dfg(dfg, params, arrays).node_firings
 
 
+def apply_classes(dfg: DFG, report: CriticalityReport) -> None:
+    """Annotate ``node.criticality`` from ``report`` onto ``dfg``."""
+    for node in dfg.memory_nodes():
+        node.criticality = report.klass(node.nid)
+
+
 def analyze_with_profile(
     dfg: DFG,
     params: dict[str, int | float] | None = None,
     arrays: dict[str, list] | None = None,
     hot_fraction: float = HOT_FRACTION,
+    in_place: bool = False,
 ) -> ProfileReport:
     """Static criticality analysis refined by a profiling run.
 
-    Returns the refined report (also annotated onto the nodes in place).
+    Returns the refined report. The caller's DFG keeps its *static*
+    class annotations unless ``in_place=True`` (then the refined classes
+    are annotated onto the nodes, as the compile flow wants for its own
+    freshly lowered graph). Callers holding a DFG that other code — in
+    particular the compile cache — already keyed on must leave
+    ``in_place`` off and use :func:`apply_classes` on a copy they own.
     """
     static = analyze_criticality(dfg)
     counts = profile_dfg(dfg, params, arrays)
@@ -59,6 +104,21 @@ def analyze_with_profile(
         n.nid: counts.get(n.nid, 0) for n in dfg.memory_nodes()
     }
     hottest = max(mem_counts.values(), default=0)
+    if hottest == 0:
+        # No memory node fired on the profiling input: there is no
+        # frequency signal to refine with. Keep the static classes
+        # (the old behavior demoted every class-B node to C here).
+        return ProfileReport(
+            report=static,
+            node_counts=counts,
+            promoted=[],
+            demoted=[],
+            degenerate=True,
+            note=(
+                "degenerate profile: no memory node fired on the "
+                "profiling input; static classes kept"
+            ),
+        )
     threshold = hot_fraction * hottest
     refined = CriticalityReport(
         class_a=list(static.class_a), recurrences=list(static.recurrences)
@@ -69,15 +129,15 @@ def analyze_with_profile(
         if nid in static.class_a:
             continue
         was_b = nid in static.class_b
-        is_hot = hottest > 0 and count >= threshold
+        is_hot = count >= threshold
         if is_hot:
             refined.class_b.append(nid)
-            dfg.nodes[nid].criticality = "B"
             if not was_b:
                 promoted.append(nid)
         else:
             refined.class_c.append(nid)
-            dfg.nodes[nid].criticality = "C"
             if was_b:
                 demoted.append(nid)
+    if in_place:
+        apply_classes(dfg, refined)
     return ProfileReport(refined, counts, promoted, demoted)

@@ -10,6 +10,12 @@ from repro.exp.configs import (
     upea,
 )
 from repro.exp.dse import ls_placement_dse
+from repro.exp.fdo import (
+    FdoResult,
+    FdoRound,
+    blame_to_weights,
+    run_fdo,
+)
 from repro.exp.figures import (
     FigureResult,
     fig6c,
@@ -32,8 +38,12 @@ from repro.exp.tables import format_table1, table1
 
 __all__ = [
     "CompileCache",
+    "FdoResult",
+    "FdoRound",
     "FigureResult",
     "GLOBAL_CACHE",
+    "blame_to_weights",
+    "run_fdo",
     "MONACO",
     "MachineConfig",
     "PAPER_DIVIDER",

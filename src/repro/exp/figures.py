@@ -176,6 +176,89 @@ def fig_critblame(
     return result
 
 
+def fig_fdo(
+    scale: str = "small",
+    seed: int = 0,
+    workloads=None,
+    arch=None,
+    rounds: int = 3,
+) -> FigureResult:
+    """Supplementary: static EFFCC vs profile-guided vs FDO placement.
+
+    For each workload, three Monaco compiles — plain static EFFCC,
+    profile-guided criticality refinement
+    (:func:`repro.core.profile.analyze_with_profile`), and the
+    feedback-directed loop's best round (:func:`repro.exp.fdo.run_fdo`)
+    — are each reported as speedup over the *same* UPEA2 baseline run.
+    All compiles are pinned to the static compile's parallelism degree,
+    so the columns isolate what the placement knows about criticality,
+    not the lowering. Where the static class-A/B prediction matches the
+    measured critical path, the three columns tie; the interesting rows
+    are the recall misses, where measured blame finds critical loads the
+    static heuristic did not.
+    """
+    from repro.exp.fdo import run_fdo
+
+    arch = arch or ArchParams()
+    fabric = monaco(12, 12)
+    baseline = upea(2)
+    result = FigureResult(
+        "fig_fdo",
+        "Speedup over UPEA2 by placement-criticality source "
+        "(taller is better)",
+        ["static", "profile-guided", "fdo"],
+    )
+    for name in _workload_list(workloads):
+        instance = make_workload(name, scale=scale, seed=seed)
+        static_c = compile_cached(
+            instance, fabric, arch, policy=EFFCC, seed=seed
+        )
+        divider = max(PAPER_DIVIDER, static_c.timing.clock_divider)
+        upea_cycles = run_config(
+            instance, static_c, baseline, arch, divider=divider
+        ).cycles
+        static_cycles = run_config(
+            instance, static_c, MONACO, arch, divider=divider
+        ).cycles
+        guided_c = compile_cached(
+            instance,
+            fabric,
+            arch,
+            policy=EFFCC,
+            parallelism=static_c.parallelism,
+            seed=seed,
+            profile_guided=True,
+        )
+        guided_cycles = run_config(
+            instance,
+            guided_c,
+            MONACO,
+            arch,
+            divider=max(PAPER_DIVIDER, guided_c.timing.clock_divider),
+        ).cycles
+        fdo_res = run_fdo(
+            name, rounds=rounds, scale=scale, seed=seed, arch=arch
+        )
+        cycles = {
+            "static": static_cycles,
+            "profile-guided": guided_cycles,
+            "fdo": fdo_res.best_cycles,
+        }
+        result.raw[name] = {**cycles, "upea2": float(upea_cycles)}
+        result.rows[name] = {k: upea_cycles / v for k, v in cycles.items()}
+    for column in result.columns:
+        result.notes.append(
+            f"geomean {column} speedup over upea2 = "
+            f"{result.geomean(column):.3f}"
+        )
+    result.notes.append(
+        "fdo column is each workload's best feedback round "
+        f"(bounded at {rounds} rounds; repro fdo <workload> shows the "
+        "per-round trajectory)"
+    )
+    return result
+
+
 def fig6c(scale: str = "small", seed: int = 0, arch=None) -> FigureResult:
     """spmspv: NUPEA vs idealized UPEA0 and practical UPEA2 (Fig. 6c)."""
     arch = arch or ArchParams()

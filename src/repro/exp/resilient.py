@@ -257,6 +257,7 @@ class FailureRecord:
         fabric_spec=None,
         policy: str | None = None,
         faults: str | None = None,
+        profile: str | None = None,
     ) -> dict:
         """A ``status: failed`` journal record for this failure."""
         identity = point_fields(
@@ -268,6 +269,7 @@ class FailureRecord:
             fabric=fabric_spec,
             policy=policy,
             faults=faults,
+            profile=profile,
         )
         return {
             "schema": MANIFEST_SCHEMA,
@@ -341,6 +343,7 @@ def run_resilient(
     resume: bool = False,
     snapshot_dir=None,
     job_fn=None,
+    profile_guided: bool = False,
 ) -> SweepOutcome:
     """Supervised (workload x config x seed) sweep.
 
@@ -368,6 +371,11 @@ def run_resilient(
 
     ``job_fn`` is a test seam: a picklable callable with
     :func:`repro.exp.runner._run_sweep_job`'s signature.
+
+    ``profile_guided`` compiles every point with profile-refined
+    criticality (the profiling input is each point's own instance); the
+    journal identity gains a ``profile: "guided"`` marker, so profiled
+    and static sweeps can never resume from each other's journals.
     """
     from repro.exp.runner import (
         DEFAULT_FABRIC_SPEC,
@@ -383,6 +391,7 @@ def run_resilient(
     job_fn = job_fn or _run_sweep_job
     cache_str = str(cache_dir) if cache_dir is not None else None
     faults_sig = _fault_signature(arch)
+    profile_sig = "guided" if profile_guided else None
     snapshot_str = str(snapshot_dir) if snapshot_dir is not None else None
     if snapshot_str is not None:
         os.makedirs(snapshot_str, exist_ok=True)
@@ -405,6 +414,7 @@ def run_resilient(
                 fabric=fabric_spec,
                 policy=policy.name,
                 faults=faults_sig,
+                profile=profile_sig,
             )
         )
 
@@ -451,6 +461,13 @@ def run_resilient(
                     ),
                 }
             )
+        elif profile_guided:
+            # Placeholder so profile_guided lands in its own slot; like
+            # the snapshot dict, trailing args appear only when the
+            # feature is on, keeping historical job_fn doubles working.
+            args.append(None)
+        if profile_guided:
+            args.append(True)
         return tuple(args)
 
     def emit_success(job: _Job, run) -> None:
@@ -466,6 +483,7 @@ def run_resilient(
                     fabric_spec=fabric_spec,
                     policy=policy.name,
                     faults=faults_sig,
+                    profile=profile_sig,
                 ),
             )
 
@@ -504,6 +522,7 @@ def run_resilient(
                     fabric_spec=fabric_spec,
                     policy=policy.name,
                     faults=faults_sig,
+                    profile=profile_sig,
                 ),
             )
 

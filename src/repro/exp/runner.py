@@ -86,6 +86,23 @@ class RunResult:
     snapshot_stats: dict | None = field(
         default=None, compare=False, repr=False
     )
+    #: :meth:`repro.core.profile.ProfileReport.to_dict` of the compile's
+    #: profile-guided refinement pass, or None for static compiles.
+    #: Deterministic, but excluded from equality so a profiled run still
+    #: compares against hand-built expectations on cycles/stats.
+    profile: dict | None = field(default=None, compare=False, repr=False)
+
+
+def weight_map_digest(node_weights: dict[int, float]) -> str:
+    """Stable 16-hex digest of a per-node weight override map."""
+    import hashlib
+    import json
+
+    payload = json.dumps(
+        {str(int(n)): float(w) for n, w in node_weights.items()},
+        sort_keys=True,
+    ).encode()
+    return hashlib.sha256(payload).hexdigest()[:16]
 
 
 def compile_cached(
@@ -97,6 +114,8 @@ def compile_cached(
     seed: int = 0,
     incremental: bool = True,
     portfolio_jobs: int = 1,
+    profile_guided: bool = False,
+    node_weights: dict[int, float] | None = None,
 ) -> CompiledKernel:
     """Compile with the shared cache (PnR is deterministic given the key).
 
@@ -104,6 +123,14 @@ def compile_cached(
     same artifact is produced (bit-identical outputs, see
     :mod:`repro.pnr.flow`), so they are deliberately not part of the
     cache key.
+
+    ``profile_guided`` refines class-B/C criticality by a profiling run
+    on the instance's own inputs; ``node_weights`` overrides per-node
+    placement weights outright (:mod:`repro.exp.fdo`). Both change the
+    compiled artifact, so both extend the cache key — a profile-guided
+    or weight-overridden compile can never alias the static entry (and
+    vice versa: the base key is unchanged when neither is set, so every
+    pre-existing cache entry and pinned digest stays reachable).
     """
     key = (
         instance.name,
@@ -114,6 +141,14 @@ def compile_cached(
         parallelism,
         seed,
     )
+    if profile_guided:
+        # The profiling inputs ARE the instance (name/table1/seed are
+        # already in the key); the marker separates refined artifacts
+        # from static ones.
+        key = key + ("profile-guided",)
+    if node_weights:
+        key = key + ("node-weights", weight_map_digest(node_weights))
+    profile = (instance.params, instance.arrays) if profile_guided else None
     return GLOBAL_CACHE.get_or_compile(
         key,
         lambda: compile_kernel(
@@ -125,6 +160,8 @@ def compile_cached(
             seed=seed,
             incremental=incremental,
             portfolio_jobs=portfolio_jobs,
+            profile=profile,
+            node_weights=node_weights,
         ),
     )
 
@@ -186,6 +223,7 @@ def run_workload_on_configs(
     manifest_path: str | os.PathLike | None = None,
     sweep_policy=None,
     failures: list | None = None,
+    profile_guided: bool = False,
 ) -> dict[str, RunResult]:
     """Compile once, then simulate under each interconnect config.
 
@@ -198,6 +236,12 @@ def run_workload_on_configs(
     :class:`~repro.exp.resilient.FailureRecord` s (appended to the
     ``failures`` list when given, and journaled to the manifest) while
     the healthy configs still return.
+
+    ``profile_guided`` refines criticality classes by a profiling run on
+    the instance's own inputs before placement (see
+    :mod:`repro.core.profile`); the manifest identity gains a
+    ``profile: "guided"`` marker and each record carries the
+    refinement's ``profile_report``.
     """
     from repro.exp.resilient import (
         ABORT,
@@ -212,6 +256,7 @@ def run_workload_on_configs(
     fabric = fabric or monaco(12, 12)
     sweep_policy = sweep_policy or ABORT
     faults_sig = _fault_signature(arch)
+    profile_sig = "guided" if profile_guided else None
     fabric_spec = (fabric.name, fabric.rows, fabric.cols)
     instance = make_workload(name, scale=scale, seed=seed)
     results: dict[str, RunResult] = {}
@@ -228,6 +273,7 @@ def run_workload_on_configs(
                     fabric_spec=fabric_spec,
                     policy=policy.name,
                     faults=faults_sig,
+                    profile=profile_sig,
                 ),
             )
 
@@ -238,9 +284,11 @@ def run_workload_on_configs(
             arch,
             policy=policy,
             seed=seed if pnr_seed is None else pnr_seed,
+            profile_guided=profile_guided,
         )
         run = run_config(instance, compiled, config, arch, divider)
         run.pnr_seed = pnr_seed
+        run.profile = compiled.meta.get("profile")
         return run
 
     for config in configs:
@@ -288,6 +336,7 @@ def run_workload_on_configs(
                             fabric_spec=fabric_spec,
                             policy=policy.name,
                             faults=faults_sig,
+                            profile=profile_sig,
                         ),
                     )
                 break
@@ -314,6 +363,7 @@ def _run_sweep_job(
     pnr_seed: int | None = None,
     timeout_s: float | None = None,
     snapshot: dict | None = None,
+    profile_guided: bool = False,
 ) -> RunResult:
     """One (workload, config, seed) point; runs inside a worker process.
 
@@ -322,6 +372,9 @@ def _run_sweep_job(
     is always ``seed``. ``timeout_s`` arms a ``SIGALRM`` wall-clock
     budget around compile+simulate (see
     :func:`repro.exp.resilient.call_with_timeout`).
+
+    ``profile_guided`` compiles with profile-refined criticality classes
+    (the profiling input is the point's own workload instance).
 
     ``snapshot`` (``{"dir", "every", "cycle_budget", "grace_s",
     "journal"}``, supplied by the supervisor when a ``snapshot_dir`` is
@@ -360,6 +413,7 @@ def _run_sweep_job(
             arch,
             policy=policy,
             seed=seed if pnr_seed is None else pnr_seed,
+            profile_guided=profile_guided,
         )
         checkpoint = resume_from = None
         resume_policy = "strict"
@@ -376,6 +430,7 @@ def _run_sweep_job(
                 fabric=fabric_spec,
                 policy=policy_name,
                 faults=_fault_signature(arch),
+                profile="guided" if profile_guided else None,
             )
             digest = config_digest(identity)
             path = os.path.join(snapshot["dir"], f"{digest}.snap")
@@ -403,6 +458,7 @@ def _run_sweep_job(
             resume_policy=resume_policy,
         )
         run.pnr_seed = pnr_seed
+        run.profile = compiled.meta.get("profile")
         return run
 
     return call_with_timeout(
@@ -429,6 +485,7 @@ def run_parallel(
     sweep_policy=None,
     resume: bool = False,
     snapshot_dir: str | os.PathLike | None = None,
+    profile_guided: bool = False,
 ) -> dict[tuple[str, str, int], RunResult]:
     """Fan (workload x config x seed) out over worker processes.
 
@@ -473,5 +530,6 @@ def run_parallel(
         sweep_policy=sweep_policy,
         resume=resume,
         snapshot_dir=snapshot_dir,
+        profile_guided=profile_guided,
     )
     return outcome.results

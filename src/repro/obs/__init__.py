@@ -24,6 +24,7 @@ from repro.obs.critpath import (
     ROLLUP,
     ROLLUP_ORDER,
     CriticalPathRecorder,
+    blame_shares,
 )
 from repro.obs.events import (
     FIRE,
@@ -46,6 +47,7 @@ __all__ = [
     "FIRE",
     "STALL_KINDS",
     "CriticalPathRecorder",
+    "blame_shares",
     "EventBus",
     "ChromeTraceSink",
     "CycleAttribution",

@@ -114,6 +114,37 @@ _KIND_FIRE = 0
 _KIND_EMIT = 1
 
 
+def blame_shares(report: dict) -> dict[int, dict]:
+    """Per-memory-node blame from an attribution report — the stable
+    export API the feedback-directed loop (:mod:`repro.exp.fdo`) and any
+    offline consumer of a ``--json`` report build on.
+
+    Takes either a live :attr:`CriticalPathRecorder.report` or the same
+    dict round-tripped through JSON, and returns
+
+    ``{nid: {"cycles", "share", "class", "op", "label"}}``
+
+    for **every** memory node of the compiled DFG (zero-blame nodes
+    included, so consumers see the full universe, not just the path).
+    ``share`` is the node's fraction of the makespan spent inside its
+    memory round-trips — the measured ground truth behind the static
+    class-A/B heuristics. Keys are ints even after a JSON round-trip.
+    """
+    system_cycles = report.get("system_cycles", 0)
+    denom = max(1, system_cycles)
+    out: dict[int, dict] = {}
+    for nid, entry in report.get("memory_nodes", {}).items():
+        cycles = entry["cycles"]
+        out[int(nid)] = {
+            "cycles": cycles,
+            "share": cycles / denom,
+            "class": entry["class"],
+            "op": entry["op"],
+            "label": entry["label"],
+        }
+    return out
+
+
 class CriticalPathRecorder:
     """Last-arrival edge recorder + backward-walk blame attribution.
 
@@ -451,6 +482,10 @@ class CriticalPathRecorder:
             int(nid): entry["criticality"]
             for nid, entry in self.report.get("memory_nodes", {}).items()
         }
+
+    def per_node_blame(self) -> dict[int, dict]:
+        """Stable per-memory-node blame export (see :func:`blame_shares`)."""
+        return blame_shares(self.report)
 
     def render(self, top: int = 10) -> str:
         """Human-readable critical-path report."""

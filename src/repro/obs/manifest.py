@@ -77,14 +77,21 @@ def point_fields(
     fabric=None,
     policy: str | None = None,
     faults: str | None = None,
+    profile: str | None = None,
 ) -> dict:
     """The *pre-run* identity of one sweep point.
 
     Everything here is known before the point executes (unlike e.g. the
     PnR-chosen parallelism), so the resume journal can match records
     against points it has not run yet.
+
+    ``profile`` marks profile-guided compilation (``"guided"``); the
+    profiling inputs themselves are the point's own workload/scale/seed,
+    already in the identity. The key is included only when set, so every
+    digest of a non-profiled point — including all pre-existing resume
+    journals — is unchanged.
     """
-    return {
+    fields = {
         "workload": workload,
         "config": config,
         "scale": scale,
@@ -94,6 +101,9 @@ def point_fields(
         "policy": policy,
         "faults": faults,
     }
+    if profile is not None:
+        fields["profile"] = profile
+    return fields
 
 
 def point_digest(**fields) -> str:
@@ -122,6 +132,7 @@ def build_manifest(
     fabric_spec=None,
     policy: str | None = None,
     faults: str | None = None,
+    profile: str | None = None,
     extra: dict | None = None,
 ) -> dict:
     """One manifest record for a :class:`~repro.exp.runner.RunResult`."""
@@ -134,6 +145,7 @@ def build_manifest(
         fabric=fabric_spec,
         policy=policy,
         faults=faults,
+        profile=profile,
     )
     config_fields = {**identity, "parallelism": run.parallelism}
     pnr_seed = getattr(run, "pnr_seed", None)
@@ -157,6 +169,13 @@ def build_manifest(
     pnr = getattr(run, "pnr", None)
     if pnr is not None:
         record["pnr"] = pnr.to_dict()
+    profile_report = getattr(run, "profile", None)
+    if profile_report is not None:
+        # Outcome of the profile-guided refinement pass — deterministic
+        # (promoted/demoted node ids, degeneracy note), so it lives in
+        # the *stable* view; the pre-run identity above carries only the
+        # ``profile`` marker.
+        record["profile_report"] = dict(profile_report)
     resume_info = getattr(run, "resume_info", None)
     if resume_info is not None:
         # The point was continued from a mid-simulation snapshot; the
@@ -199,6 +218,7 @@ def completed_points(path) -> set[str]:
                 fabric=record.get("fabric"),
                 policy=record.get("policy"),
                 faults=record.get("faults"),
+                profile=record.get("profile"),
             )
         except KeyError:
             continue

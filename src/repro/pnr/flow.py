@@ -91,6 +91,7 @@ def _evaluate_mem_scale(
     anneal_moves: int | None,
     incremental: bool,
     check: bool,
+    node_weights: dict[int, float] | None = None,
 ):
     """Evaluate one (mem_scale, seed) portfolio candidate.
 
@@ -109,7 +110,8 @@ def _evaluate_mem_scale(
     try:
         rng = random.Random(seed)
         placement = initial_placement(
-            netlist, fabric, policy, rng, mem_scale=mem_scale
+            netlist, fabric, policy, rng, mem_scale=mem_scale,
+            node_weights=node_weights,
         )
     except PnRError as error:
         return ("fatal", (type(error).__name__, str(error)), {})
@@ -161,6 +163,8 @@ def compile_once(
     incremental: bool = True,
     portfolio_jobs: int = 1,
     portfolio_restarts: int = 1,
+    profile: tuple[dict | None, dict | None] | None = None,
+    node_weights: dict[int, float] | None = None,
 ) -> CompiledKernel:
     """Compile at a fixed parallelism degree; raises PnRError on failure.
 
@@ -172,11 +176,43 @@ def compile_once(
     ``portfolio_restarts > 1`` adds extra placement seeds per mem scale.
     ``incremental=False`` selects the naive full-recompute anneal and
     full-reroute PathFinder (the A/B baseline).
+
+    ``profile`` — a ``(params, arrays)`` pair of profiling inputs —
+    enables profile-guided criticality: the lowered DFG is executed once
+    through the untimed interpreter and class-B/C memory nodes are
+    reclassified by measured firing frequency
+    (:func:`repro.core.profile.analyze_with_profile`) before placement.
+    The refinement outcome is recorded in ``CompiledKernel.meta
+    ["profile"]``.
+
+    ``node_weights`` (nid -> weight) overrides the per-node placement
+    weight outright — the feedback-directed path
+    (:mod:`repro.exp.fdo`). An empty/None map is bit-identical to the
+    class-weight path. The map used is recorded in ``CompiledKernel.meta
+    ["node_weights"]``.
     """
     t0 = time.perf_counter()
     program = parallelize(kernel, parallelism) if parallelism > 1 else kernel
     dfg = lower_kernel(program, mem_mode=mem_mode)
-    report = analyze_criticality(dfg)
+    meta: dict = {}
+    if profile is not None:
+        from repro.core.profile import analyze_with_profile
+
+        profile_params, profile_arrays = profile
+        # The flow owns this freshly lowered DFG, so refining it in
+        # place is safe — no cache entry was ever keyed on it.
+        profiled = analyze_with_profile(
+            dfg, profile_params, profile_arrays, in_place=True
+        )
+        report = profiled.report
+        meta["profile"] = profiled.to_dict()
+    else:
+        report = analyze_criticality(dfg)
+    node_weights = dict(node_weights) if node_weights else None
+    if node_weights is not None:
+        meta["node_weights"] = {
+            int(nid): float(w) for nid, w in sorted(node_weights.items())
+        }
     netlist = build_netlist(dfg)
     channels = build_channel_graph(fabric, arch.noc_tracks, arch.noc_model)
     check = arch.sim.check
@@ -204,6 +240,7 @@ def compile_once(
                 anneal_moves,
                 incremental,
                 check,
+                node_weights,
             )
             for mem_scale, cand_seed in plan
         ]
@@ -221,6 +258,7 @@ def compile_once(
                 anneal_moves,
                 incremental,
                 check,
+                node_weights,
             )
             for mem_scale, cand_seed in plan
         )
@@ -273,6 +311,7 @@ def compile_once(
         timing=timing,
         parallelism=parallelism,
         place_cost=cost,
+        meta=meta,
         pnr=pnr,
     )
 
@@ -290,6 +329,8 @@ def compile_kernel(
     incremental: bool = True,
     portfolio_jobs: int = 1,
     portfolio_restarts: int = 1,
+    profile: tuple[dict | None, dict | None] | None = None,
+    node_weights: dict[int, float] | None = None,
 ) -> CompiledKernel:
     """Compile ``kernel``, searching the parallelism degree if unspecified.
 
@@ -304,6 +345,7 @@ def compile_kernel(
         return compile_once(
             kernel, fabric, arch, policy, parallelism, mem_mode, seed,
             anneal_moves, incremental, portfolio_jobs, portfolio_restarts,
+            profile, node_weights,
         )
     t0 = time.perf_counter()
     best: CompiledKernel | None = None
@@ -314,7 +356,7 @@ def compile_kernel(
             candidate = compile_once(
                 kernel, fabric, arch, policy, degree, mem_mode, seed,
                 anneal_moves, incremental, portfolio_jobs,
-                portfolio_restarts,
+                portfolio_restarts, profile, node_weights,
             )
         except PnRError:
             break

@@ -41,6 +41,7 @@ class Placement:
         fabric: Fabric,
         policy: PlacementPolicy,
         mem_scale: float = 1.0,
+        node_weights: dict[int, float] | None = None,
     ):
         self.netlist = netlist
         self.fabric = fabric
@@ -49,6 +50,11 @@ class Placement:
         #: timing feedback shows the near-memory pull is congesting the
         #: data NoC (placement/routing negotiation).
         self.mem_scale = mem_scale
+        #: Optional per-node weight overrides (feedback-directed
+        #: placement, :mod:`repro.exp.fdo`). An empty map is normalized
+        #: to None so the override-free path stays bit-identical to the
+        #: historical class-weight one.
+        self.node_weights = node_weights or None
         self.loc: dict[int, Coord] = {}
         self.occupant: dict[Coord, int] = {}
 
@@ -91,7 +97,9 @@ class Placement:
         node = self.netlist.dfg.nodes[nid]
         if not node.is_memory():
             return 0.0
-        weight = self.policy.weight(node.criticality)
+        weight = self.policy.node_weight(
+            node.criticality, nid, self.node_weights
+        )
         if weight == 0.0:
             return 0.0
         pe = self.fabric.pes[self.loc[nid]]
@@ -161,7 +169,9 @@ class CostTable:
             node = dfg.nodes[nid]
             if not node.is_memory():
                 continue
-            weight = policy.weight(node.criticality)
+            weight = policy.node_weight(
+                node.criticality, nid, placement.node_weights
+            )
             if weight == 0.0:
                 continue
             self._mem_base[nid] = (
@@ -282,6 +292,7 @@ def initial_placement(
     policy: PlacementPolicy,
     rng: random.Random,
     mem_scale: float = 1.0,
+    node_weights: dict[int, float] | None = None,
 ) -> Placement:
     """Deterministic seed placement: memory first, then greedy BFS.
 
@@ -291,6 +302,12 @@ def initial_placement(
     (fast domains and columns first, criticality classes in order) decides
     slots. Banding keeps each worker's nodes spatially compact, which is
     what lets the annealer converge to short nets on large fabrics.
+
+    ``node_weights`` (feedback-directed placement) overrides the
+    per-node memory weight: within a cluster, memory nodes claim slots
+    in descending *effective* weight order instead of class order, and
+    the anneal objective prices each node at its override. An empty or
+    ``None`` map reproduces the class-weight path bit for bit.
     """
     dfg = netlist.dfg
     if len(netlist.cells) > fabric.size():
@@ -304,7 +321,10 @@ def initial_placement(
             f"{len(mem_nodes)} memory nodes exceed {len(fabric.ls_pes())} "
             "LS PEs"
         )
-    placement = Placement(netlist, fabric, policy, mem_scale=mem_scale)
+    placement = Placement(
+        netlist, fabric, policy, mem_scale=mem_scale,
+        node_weights=node_weights,
+    )
 
     clusters = _clusters(netlist)
     bands = _row_bands(clusters, dfg, fabric)
@@ -315,7 +335,18 @@ def initial_placement(
     klass_order = {"A": 0, "B": 1, "C": 2}
     for cluster, band in zip(clusters, bands):
         mems = sorted(n for n in cluster if dfg.nodes[n].is_memory())
-        if policy.criticality_aware:
+        if placement.node_weights is not None:
+            # Feedback-directed: measured weights, not class guesses,
+            # decide who claims the fast domains first.
+            mems.sort(
+                key=lambda n: (
+                    -policy.node_weight(
+                        dfg.nodes[n].criticality, n, placement.node_weights
+                    ),
+                    n,
+                )
+            )
+        elif policy.criticality_aware:
             mems.sort(
                 key=lambda n: (klass_order[dfg.nodes[n].criticality], n)
             )

@@ -1,7 +1,11 @@
 """Tests for profile-guided criticality refinement."""
 
 from repro.core.criticality import analyze_criticality
-from repro.core.profile import analyze_with_profile, profile_dfg
+from repro.core.profile import (
+    analyze_with_profile,
+    apply_classes,
+    profile_dfg,
+)
 from repro.dfg.lower import lower_kernel
 from repro.ir.builder import KernelBuilder
 
@@ -51,6 +55,10 @@ def test_cold_conditional_load_demoted():
     assert cold in profiled.demoted
     assert cold in profiled.report.class_c
     assert hot in profiled.report.class_b
+    # The caller's DFG keeps its *static* annotation (see the
+    # no-mutation regression below); opting in annotates the refinement.
+    assert dfg.nodes[cold].criticality == "B"
+    analyze_with_profile(dfg, params, arrays, in_place=True)
     assert dfg.nodes[cold].criticality == "C"
 
 
@@ -82,3 +90,74 @@ def test_hot_top_level_load_promoted():
     profiled = analyze_with_profile(dfg, {"n": 8}, {"x": [1] * 8})
     assert top in profiled.promoted
     assert top in profiled.report.class_b
+
+
+def test_no_mutation_by_default_cache_poisoning_regression():
+    """Refinement must not rewrite the caller's node annotations.
+
+    The old in-place behavior silently changed class labels under a DFG
+    the compile cache had already keyed on the *unrefined* graph —
+    cached artifacts looked valid while their criticality annotations
+    no longer matched the bytes they were compiled from.
+    """
+    kernel = cold_branch_kernel()
+    params = {"n": 16}
+    arrays = {"x": list(range(16)), "rare": [7] * 16}
+    dfg = lower_kernel(kernel)
+    analyze_criticality(dfg)
+    before = {
+        n.nid: n.criticality for n in dfg.memory_nodes()
+    }
+    profiled = analyze_with_profile(dfg, params, arrays)
+    after = {n.nid: n.criticality for n in dfg.memory_nodes()}
+    assert after == before
+    assert profiled.demoted  # the refinement itself did find changes
+
+
+def test_apply_classes_annotates_a_copy():
+    kernel = cold_branch_kernel()
+    params = {"n": 16}
+    arrays = {"x": list(range(16)), "rare": [7] * 16}
+    dfg = lower_kernel(kernel)
+    profiled = analyze_with_profile(dfg, params, arrays)
+    fresh = lower_kernel(kernel)
+    apply_classes(fresh, profiled.report)
+    for node in fresh.memory_nodes():
+        assert node.criticality == profiled.report.klass(node.nid)
+
+
+def test_degenerate_profile_keeps_static_classes():
+    """All memory nodes firing zero times must not demote class B to C."""
+    b = KernelBuilder("zerotrip", params=["n"])
+    x = b.array("x", 8)
+    y = b.array("y", 8)
+    with b.for_("i", 0, b.p.n) as i:  # zero-trip with n=0
+        y.store(i, x.load(i, "inner") + 1)
+    dfg = lower_kernel(b.build())
+    static = analyze_criticality(dfg)
+    assert static.class_b  # the inner load/store are class B statically
+    profiled = analyze_with_profile(dfg, {"n": 0}, {"x": [1] * 8})
+    assert profiled.degenerate
+    assert profiled.note and "degenerate" in profiled.note
+    assert not profiled.promoted and not profiled.demoted
+    # Static classes are kept verbatim (the old behavior demoted every
+    # class-B node to C here).
+    assert profiled.report.class_b == static.class_b
+    assert profiled.report.class_c == static.class_c
+    assert profiled.report.class_a == static.class_a
+
+
+def test_profile_report_to_dict_is_json_safe():
+    import json
+
+    kernel = cold_branch_kernel()
+    dfg = lower_kernel(kernel)
+    profiled = analyze_with_profile(
+        dfg, {"n": 16}, {"x": list(range(16)), "rare": [7] * 16}
+    )
+    payload = profiled.to_dict()
+    assert json.loads(json.dumps(payload)) == payload
+    assert set(payload) == {
+        "promoted", "demoted", "degenerate", "note", "counts",
+    }
+    assert payload["degenerate"] is False

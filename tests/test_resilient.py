@@ -459,3 +459,104 @@ def test_run_workload_on_configs_supervised(tmp_path):
     records = read_manifest(manifest)
     assert all(r["status"] == "failed" for r in records)
     assert all(r["faults"] == "seed=0,mem-drop=1.0" for r in records)
+
+
+# -- profile-guided sweeps ---------------------------------------------------
+# The job_args protocol appends trailing arguments only when a feature is
+# on, so historical 11-arg job_fn doubles (everything above) keep working.
+
+
+def _record_args_job(*args):
+    return args
+
+
+def test_job_args_protocol_is_stable_without_profile_guided():
+    outcome = run_resilient(
+        ["spmspv"],
+        [MONACO],
+        scale="tiny",
+        max_workers=1,
+        job_fn=_record_args_job,
+    )
+    (args,) = outcome.results.values()
+    assert len(args) == 11  # the historical signature, nothing appended
+
+
+def test_profile_guided_appends_trailing_job_args():
+    outcome = run_resilient(
+        ["spmspv"],
+        [MONACO],
+        scale="tiny",
+        max_workers=1,
+        job_fn=_record_args_job,
+        profile_guided=True,
+    )
+    (args,) = outcome.results.values()
+    assert len(args) == 13
+    assert args[11] is None  # snapshot placeholder keeps positions fixed
+    assert args[12] is True  # the profile_guided flag itself
+
+
+def test_profile_guided_sweep_journals_profile(tmp_path):
+    """A real profile-guided sweep marks its manifest identity and
+    carries the refinement report; resume honors the new digest."""
+    manifest = tmp_path / "man.jsonl"
+    outcome = run_resilient(
+        ["spmspv"],
+        [MONACO],
+        scale="tiny",
+        max_workers=1,
+        manifest_path=manifest,
+        profile_guided=True,
+    )
+    assert outcome.ok
+    (run,) = outcome.results.values()
+    assert run.profile is not None
+    assert set(run.profile) >= {"promoted", "demoted", "degenerate"}
+    (record,) = read_manifest(manifest)
+    assert record["profile"] == "guided"
+    assert record["profile_report"] == dict(run.profile)
+    # The journal proves the point complete under the *guided* digest...
+    resumed = run_resilient(
+        ["spmspv"],
+        [MONACO],
+        scale="tiny",
+        max_workers=1,
+        manifest_path=manifest,
+        profile_guided=True,
+        resume=True,
+    )
+    assert resumed.skipped == [("spmspv", "monaco", 0)]
+    # (A static sweep's refusal to alias this journal is covered by
+    # test_static_resume_does_not_alias_guided_journal below.)
+
+
+def test_static_resume_does_not_alias_guided_journal(tmp_path):
+    """A guided record must not prove the *static* point complete: the
+    two identities digest differently, so resume never aliases them."""
+    from repro.obs.manifest import point_digest
+
+    manifest = tmp_path / "man.jsonl"
+    run_resilient(
+        ["spmspv"],
+        [MONACO],
+        scale="tiny",
+        max_workers=1,
+        manifest_path=manifest,
+        profile_guided=True,
+    )
+    (record,) = read_manifest(manifest)
+    done = completed_points(manifest)
+    assert record["point_digest"] in done  # the guided identity is proven
+    static_digest = point_digest(
+        workload=record["workload"],
+        config=record["config"],
+        scale=record["scale"],
+        seed=record["seed"],
+        divider=record["divider"],
+        fabric=record.get("fabric"),
+        policy=record.get("policy"),
+        faults=record.get("faults"),
+        # no profile field: the static identity of the same point
+    )
+    assert static_digest not in done
